@@ -1,0 +1,37 @@
+# INSANE reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all test race vet bench experiments demo examples loc
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/insane-bench
+
+demo:
+	$(GO) run ./cmd/lunar-demo
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/migration
+	$(GO) run ./examples/mom-sensors
+	$(GO) run ./examples/camera-streaming
+	$(GO) run ./examples/tsn-control
+
+# Count the repository's lines of Go.
+loc:
+	@find . -name '*.go' | xargs wc -l | tail -1

@@ -1,0 +1,60 @@
+// Command insane-bench regenerates the paper's evaluation: every table
+// and figure of §6-§7 plus the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	insane-bench                  # run everything
+//	insane-bench -experiment fig7a
+//	insane-bench -list
+//	insane-bench -rounds 1000 -jobs 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/insane-mw/insane/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "insane-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("insane-bench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment id to run, or 'all'")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		rounds     = fs.Int("rounds", 0, "ping-pong rounds for latency experiments (0 = default)")
+		jobs       = fs.Int("jobs", 0, "messages for simulated throughput runs (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	cfg := experiments.RunConfig{Rounds: *rounds, Jobs: *jobs}
+
+	ids := experiments.IDs()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "table1", "-rounds", "10", "-jobs", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCommaSeparated(t *testing.T) {
+	if err := run([]string{"-experiment", "table1, table4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"-experiment", "fig99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown id") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

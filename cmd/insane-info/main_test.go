@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunAll(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTestbedsOnly(t *testing.T) {
+	if err := run([]string{"-testbeds"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQoSOnly(t *testing.T) {
+	if err := run([]string{"-qos"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is the root of the INSANE reproduction: a pure-Go,
+// repository-scale implementation of "INSANE: A Unified Middleware for
+// QoS-aware Network Acceleration in Edge Cloud Computing" (Rosa, Garbugli,
+// Corradi, Bellavista — Middleware '23).
+//
+// The public middleware API lives in the insane package; the two
+// INSANE-based applications of §7 live under lunar; the substrates
+// (virtual fabric, datapath plugins, memory manager, schedulers, cost
+// models, simulator) live under internal. See README.md for the layout,
+// DESIGN.md for the system inventory and substitution rationale, and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation:
+//
+//	go test -bench=. -benchmem .
+package repro

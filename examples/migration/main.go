@@ -1,0 +1,106 @@
+// Migration: the paper's core motivation (§1). A latency-critical
+// component streams readings to an edge datacenter. It first runs on a
+// node with DPDK; then it "migrates" to a node that only has the kernel
+// stack. The exact same component code runs in both placements — INSANE
+// remaps the stream at session creation and warns about the fallback.
+//
+// Run with:
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/insane-mw/insane/insane"
+)
+
+const channel = 99
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := insane.NewCluster(insane.ClusterOptions{
+		Nodes: []insane.NodeSpec{
+			{Name: "edge-dpdk", DPDK: true}, // initial placement
+			{Name: "edge-bare"},             // migration target
+			{Name: "edge-dc", DPDK: true},   // the consumer
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// The consumer stays put on the edge datacenter node.
+	dcSess, err := cluster.Node("edge-dc").InitSession()
+	if err != nil {
+		return err
+	}
+	defer dcSess.Close()
+	dcStream, err := dcSess.CreateStream(insane.Options{Datapath: insane.Fast})
+	if err != nil {
+		return err
+	}
+	sink, err := dcStream.CreateSink(channel, nil)
+	if err != nil {
+		return err
+	}
+
+	// One component, zero placement-specific code.
+	component := func(node *insane.Node) error {
+		sess, err := node.InitSession()
+		if err != nil {
+			return err
+		}
+		defer sess.Close() // detach: the migration moment
+
+		stream, err := sess.CreateStream(insane.Options{Datapath: insane.Fast})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%s] stream mapped to %q (fallback=%v)\n",
+			node.Name(), stream.Technology(), stream.FellBack())
+
+		for node.SubscriberCount(channel) == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		src, err := stream.CreateSource(channel)
+		if err != nil {
+			return err
+		}
+		buf, err := src.GetBuffer(32)
+		if err != nil {
+			return err
+		}
+		n := copy(buf.Payload, "reading from "+node.Name())
+		_, err = src.Emit(buf, n)
+		return err
+	}
+
+	for _, placement := range []string{"edge-dpdk", "edge-bare"} {
+		if err := component(cluster.Node(placement)); err != nil {
+			return err
+		}
+		msg, err := sink.ConsumeTimeout(2 * time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[edge-dc]   received %q, one-way %v\n\n", msg.Payload, msg.Latency)
+		sink.Release(msg)
+	}
+
+	fmt.Println("warnings recorded by the runtimes:")
+	for _, n := range cluster.Nodes() {
+		for _, w := range n.Warnings() {
+			fmt.Printf("  %s: %s\n", n.Name(), w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/insane-mw/insane
+
+go 1.22

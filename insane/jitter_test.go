@@ -1,0 +1,107 @@
+package insane_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/insane-mw/insane/insane"
+)
+
+// TestWireJitterSpreadsLatencies: with WireJitter set, repeated deliveries
+// show a latency distribution instead of a single deterministic value —
+// what the paper's box-plot whiskers depict.
+func TestWireJitterSpreadsLatencies(t *testing.T) {
+	c, err := insane.NewCluster(insane.ClusterOptions{
+		Nodes:      []insane.NodeSpec{{Name: "a"}, {Name: "b"}},
+		WireJitter: 300 * time.Nanosecond,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sessA, _ := c.Node("a").InitSession()
+	sessB, _ := c.Node("b").InitSession()
+	stA, _ := sessA.CreateStream(insane.Options{})
+	stB, _ := sessB.CreateStream(insane.Options{})
+	sink, _ := stB.CreateSink(1, nil)
+	waitSubs(t, c.Node("a"), 1, 1)
+	src, _ := stA.CreateSource(1)
+
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		send(t, src, []byte{byte(i)})
+		m, err := sink.ConsumeTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[m.Latency] = true
+		sink.Release(m)
+	}
+	if len(distinct) < 10 {
+		t.Errorf("jittered latencies collapsed to %d distinct values", len(distinct))
+	}
+}
+
+// TestCustomMapper exercises the user-configured mapping strategy of
+// §5.2 through the public API.
+func TestCustomMapper(t *testing.T) {
+	c, err := insane.NewCluster(insane.ClusterOptions{
+		Nodes: []insane.NodeSpec{
+			{Name: "a", DPDK: true, XDP: true, RDMA: true},
+			{Name: "b", DPDK: true, XDP: true, RDMA: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, _ := c.Node("a").InitSession()
+
+	// A strategy that always prefers XDP, against the default's RDMA.
+	st, err := sess.CreateStream(insane.Options{
+		Datapath: insane.Fast,
+		Mapper: func(available []string) string {
+			for _, name := range available {
+				if name == "xdp" {
+					return name
+				}
+			}
+			return ""
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Technology() != "xdp" || st.FellBack() {
+		t.Errorf("custom mapper ignored: %s (fallback=%v)", st.Technology(), st.FellBack())
+	}
+
+	// Returning "" delegates to the default strategy.
+	st2, _ := sess.CreateStream(insane.Options{
+		Datapath: insane.Fast,
+		Mapper:   func([]string) string { return "" },
+	})
+	if st2.Technology() != "rdma" {
+		t.Errorf("delegating mapper broke default: %s", st2.Technology())
+	}
+
+	// An unknown name degrades to the default, best effort.
+	st3, _ := sess.CreateStream(insane.Options{
+		Datapath: insane.Fast,
+		Mapper:   func([]string) string { return "quantum-nic" },
+	})
+	if st3.Technology() != "rdma" {
+		t.Errorf("unknown pick broke default: %s", st3.Technology())
+	}
+
+	// Deliberately picking the kernel for a fast stream is a fallback.
+	st4, _ := sess.CreateStream(insane.Options{
+		Datapath: insane.Fast,
+		Mapper:   func([]string) string { return "kernel-udp" },
+	})
+	if st4.Technology() != "kernel-udp" || !st4.FellBack() {
+		t.Errorf("kernel pick: %s fallback=%v, want kernel-udp true", st4.Technology(), st4.FellBack())
+	}
+}

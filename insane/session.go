@@ -1,0 +1,415 @@
+package insane
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/insane-mw/insane/internal/core"
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/mempool"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/qos"
+)
+
+// Errors surfaced by the client library.
+var (
+	// ErrClosed is returned by operations on closed handles.
+	ErrClosed = core.ErrClosed
+	// ErrBackpressure is returned by Emit when the runtime is busy; the
+	// caller keeps the buffer and should retry.
+	ErrBackpressure = core.ErrBackpressure
+	// ErrNoData is returned by a non-blocking Consume on an empty sink.
+	ErrNoData = core.ErrNoData
+	// ErrTimeout is returned by a blocking Consume that hit its deadline.
+	ErrTimeout = core.ErrTimeout
+	// ErrNoBuffers is returned by GetBuffer when the memory pools are
+	// momentarily exhausted; slot recycling is the natural flow control
+	// of the zero-copy design, so callers back off and retry.
+	ErrNoBuffers = mempool.ErrExhausted
+)
+
+// Datapath is the acceleration QoS policy of a stream (§5.2).
+type Datapath int
+
+// Acceleration levels: Slow maps to kernel networking, Fast requests an
+// accelerated technology.
+const (
+	Slow Datapath = iota
+	Fast
+)
+
+// Resources is the resource-consumption QoS policy.
+type Resources int
+
+// Resource-consumption levels: WhateverItTakes permits busy-polling
+// technologies like DPDK; Frugal avoids dedicating spinning cores.
+const (
+	WhateverItTakes Resources = iota
+	Frugal
+)
+
+// Timing is the time-sensitiveness QoS policy.
+type Timing int
+
+// Time-sensitiveness levels: BestEffort uses the FIFO scheduler;
+// TimeSensitive uses the IEEE 802.1Qbv time-aware scheduler.
+const (
+	BestEffort Timing = iota
+	TimeSensitive
+)
+
+// Options is the QoS requirement set of a stream (create_stream).
+type Options struct {
+	Datapath  Datapath
+	Resources Resources
+	Timing    Timing
+	// Class is the 802.1Qbv traffic class (0-7) of time-sensitive
+	// streams; higher is more critical.
+	Class uint8
+	// Mapper overrides the default mapping strategy (§5.2: streams map
+	// "according to a user-configured mapping strategy"). It receives
+	// the technology names available on the node (as in
+	// Node.Technologies()) and must return one of them; returning ""
+	// delegates back to the default strategy.
+	Mapper func(available []string) string
+}
+
+// toQoS converts the public options to the internal policy type.
+func (o Options) toQoS() qos.Options {
+	out := qos.Options{Class: o.Class}
+	if o.Mapper != nil {
+		userPick := o.Mapper
+		out.Mapper = func(inner qos.Options, caps datapath.Caps) (model.Tech, bool) {
+			names := make([]string, 0, 4)
+			for _, tech := range caps.List() {
+				names = append(names, tech.String())
+			}
+			pick := userPick(names)
+			if pick == "" {
+				return qos.DefaultMap(inner, caps)
+			}
+			for _, tech := range caps.List() {
+				if tech.String() == pick {
+					// The hint was honored only if it matches the
+					// acceleration request; picking the kernel for a
+					// fast stream is still a (deliberate) fallback.
+					fb := inner.Datapath == qos.DatapathFast && tech == model.TechKernelUDP
+					return tech, fb
+				}
+			}
+			// Unknown name: best-effort default, like any other hint.
+			return qos.DefaultMap(inner, caps)
+		}
+	}
+	if o.Datapath == Fast {
+		out.Datapath = qos.DatapathFast
+	} else {
+		out.Datapath = qos.DatapathSlow
+	}
+	if o.Resources == Frugal {
+		out.Resources = qos.ResourcesConstrained
+	} else {
+		out.Resources = qos.ResourcesUnconstrained
+	}
+	if o.Timing == TimeSensitive {
+		out.Timing = qos.TimingSensitive
+	} else {
+		out.Timing = qos.TimingBestEffort
+	}
+	return out
+}
+
+// Session is an application's connection to the local INSANE runtime
+// (init_session / close_session).
+type Session struct {
+	conn *core.ClientConn
+
+	mu    sync.Mutex
+	sinks []*Sink
+}
+
+// InitSession opens a session with the node's runtime.
+func (n *Node) InitSession() (*Session, error) {
+	conn, err := n.rt.Connect()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{conn: conn}, nil
+}
+
+// Close ends the session: every stream, source and sink opened through it
+// is closed and all borrowed memory returns to the runtime.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	sinks := s.sinks
+	s.sinks = nil
+	s.mu.Unlock()
+	for _, k := range sinks {
+		k.stopDispatch()
+	}
+	return s.conn.Close()
+}
+
+// CreateStream opens a stream with the given QoS options; the runtime
+// maps it to the most appropriate technology available on this node.
+func (s *Session) CreateStream(opts Options) (*Stream, error) {
+	h, err := s.conn.OpenStream(opts.toQoS())
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{sess: s, h: h}, nil
+}
+
+// Stream is an open stream: a set of quality requirements shared by its
+// channels (Fig. 1).
+type Stream struct {
+	sess *Session
+	h    *core.StreamHandle
+}
+
+// Technology names the network technology the stream was mapped to.
+func (st *Stream) Technology() string { return st.h.Tech().String() }
+
+// FellBack reports that acceleration was requested but unavailable, so
+// the stream runs on the kernel stack (the §5.2 warning).
+func (st *Stream) FellBack() bool { return st.h.FellBack() }
+
+// Close closes the stream (close_stream).
+func (st *Stream) Close() { st.h.Close() }
+
+// CreateSource opens a data producer on a channel (create_source).
+func (st *Stream) CreateSource(channel int) (*Source, error) {
+	h, err := st.h.CreateSource(uint32(channel))
+	if err != nil {
+		return nil, err
+	}
+	return &Source{h: h}, nil
+}
+
+// DataCallback handles one delivery; the library releases the message
+// when the callback returns, so callbacks must copy anything they keep.
+type DataCallback func(m *Message)
+
+// CreateSink opens a data consumer on a channel (create_sink). With a
+// non-nil callback, the library dispatches every delivery to it from a
+// dedicated goroutine; otherwise the application calls Consume.
+func (st *Stream) CreateSink(channel int, cb DataCallback) (*Sink, error) {
+	h, err := st.h.CreateSink(uint32(channel))
+	if err != nil {
+		return nil, err
+	}
+	k := &Sink{h: h}
+	if cb != nil {
+		k.stop = make(chan struct{})
+		k.done = make(chan struct{})
+		go k.dispatch(cb)
+	}
+	st.sess.mu.Lock()
+	st.sess.sinks = append(st.sess.sinks, k)
+	st.sess.mu.Unlock()
+	return k, nil
+}
+
+// Buffer is a zero-copy send buffer (get_buffer). Write the payload into
+// Payload, then Emit; never touch the buffer afterwards.
+type Buffer struct {
+	// Payload is the writable application area.
+	Payload []byte
+	inner   *core.Buffer
+}
+
+// Source is a data producer on one channel.
+type Source struct {
+	h *core.SourceHandle
+}
+
+// Channel returns the source's channel id.
+func (s *Source) Channel() int { return int(s.h.Channel()) }
+
+// GetBuffer borrows a buffer able to hold size payload bytes from the
+// runtime memory manager (get_buffer).
+func (s *Source) GetBuffer(size int) (*Buffer, error) {
+	b, err := s.h.GetBuffer(size)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{Payload: b.Payload, inner: b}, nil
+}
+
+// Abort returns an unsent buffer to the pool.
+func (s *Source) Abort(b *Buffer) {
+	if b != nil && b.inner != nil {
+		s.h.Abort(b.inner)
+		b.inner = nil
+	}
+}
+
+// AddProcessing charges application-level processing time to the
+// message's virtual clock; layered middleware (e.g. Lunar MoM) uses it to
+// account its own overhead in the latency figures.
+func (b *Buffer) AddProcessing(d time.Duration) {
+	b.inner.VTime = b.inner.VTime.Add(d)
+	b.inner.Breakdown.Processing += d
+}
+
+// ContinueFrom seeds the buffer's virtual clock from a received message,
+// so latency accounting accumulates across an echo (used by the
+// ping-pong benchmarks).
+func (b *Buffer) ContinueFrom(m *Message) {
+	b.inner.VTime = m.d.VTime
+	b.inner.Breakdown = m.d.Breakdown
+}
+
+// Emit hands the first n payload bytes to the runtime for asynchronous
+// transmission (emit_data) and returns a token for EmitOutcome.
+func (s *Source) Emit(b *Buffer, n int) (uint32, error) {
+	if b == nil || b.inner == nil {
+		return 0, errors.New("insane: emit of nil or already-emitted buffer")
+	}
+	seq, err := s.h.Emit(b.inner, n)
+	if err == nil {
+		b.inner = nil // ownership moved to the runtime
+	}
+	return seq, err
+}
+
+// Outcome reports the fate of an emitted message (check_emit_outcome).
+type Outcome struct {
+	// LocalSinks and RemotePeers count where the message went.
+	LocalSinks, RemotePeers int
+	// Err is non-nil if the send failed.
+	Err error
+}
+
+// EmitOutcome retrieves the result of a past Emit, if available yet.
+func (s *Source) EmitOutcome(token uint32) (Outcome, bool) {
+	o, ok := s.h.Outcome(token)
+	if !ok {
+		return Outcome{}, false
+	}
+	return Outcome{LocalSinks: o.LocalSinks, RemotePeers: o.RemotePeers, Err: o.Err}, true
+}
+
+// Close closes the source (close_source).
+func (s *Source) Close() { s.h.Close() }
+
+// Message is one received delivery, borrowed zero-copy from the runtime
+// pools (consume_data): Release it as soon as processing is done.
+type Message struct {
+	// Payload is a read-only view into the shared memory slot.
+	Payload []byte
+	// Channel is the channel the message arrived on.
+	Channel int
+	// Latency is the accumulated one-way virtual latency.
+	Latency time.Duration
+	d       *core.Delivery
+}
+
+// Breakdown splits the message latency into the Fig. 6 stages.
+func (m *Message) Breakdown() (send, network, recv, processing time.Duration) {
+	bd := m.d.Breakdown
+	return bd.Send, bd.Network, bd.Recv, bd.Processing
+}
+
+// Sink is a data consumer on one channel.
+type Sink struct {
+	h    *core.SinkHandle
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Channel returns the sink's channel id.
+func (k *Sink) Channel() int { return int(k.h.Channel()) }
+
+// Available returns how many deliveries are queued (data_available).
+func (k *Sink) Available() int { return k.h.Available() }
+
+// Consume pops one delivery. With block=false it returns ErrNoData
+// immediately when the sink is empty; with block=true it waits.
+func (k *Sink) Consume(block bool) (*Message, error) {
+	if !block {
+		d, err := k.h.TryConsume()
+		if err != nil {
+			return nil, err
+		}
+		return wrapDelivery(d), nil
+	}
+	d, err := k.h.Consume(0)
+	if err != nil {
+		return nil, err
+	}
+	return wrapDelivery(d), nil
+}
+
+// ConsumeTimeout pops one delivery, waiting at most d.
+func (k *Sink) ConsumeTimeout(d time.Duration) (*Message, error) {
+	del, err := k.h.Consume(d)
+	if err != nil {
+		return nil, err
+	}
+	return wrapDelivery(del), nil
+}
+
+// Release returns a consumed message's memory to the runtime
+// (release_buffer).
+func (k *Sink) Release(m *Message) {
+	if m != nil && m.d != nil {
+		k.h.Release(m.d)
+		m.d = nil
+		m.Payload = nil
+	}
+}
+
+// Close closes the sink (close_sink), stopping its callback dispatcher.
+func (k *Sink) Close() {
+	k.stopDispatch()
+	k.h.Close()
+}
+
+// stopDispatch terminates the callback goroutine, if any.
+func (k *Sink) stopDispatch() {
+	if k.stop != nil {
+		select {
+		case <-k.stop:
+		default:
+			close(k.stop)
+		}
+		<-k.done
+		k.stop = nil
+	}
+}
+
+// dispatch is the callback pump: it waits on the sink's notification
+// channel and hands every delivery to the callback, releasing the buffer
+// afterwards.
+func (k *Sink) dispatch(cb DataCallback) {
+	defer close(k.done)
+	for {
+		d, err := k.h.TryConsume()
+		if err == nil {
+			m := wrapDelivery(d)
+			cb(m)
+			k.Release(m)
+			continue
+		}
+		if !errors.Is(err, ErrNoData) {
+			return // sink closed
+		}
+		select {
+		case <-k.stop:
+			return
+		case <-k.h.Notify():
+		}
+	}
+}
+
+// wrapDelivery adapts a core delivery to the public Message.
+func wrapDelivery(d *core.Delivery) *Message {
+	return &Message{
+		Payload: d.Payload,
+		Channel: int(d.Channel),
+		Latency: d.VTime.Duration(),
+		d:       d,
+	}
+}

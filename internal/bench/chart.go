@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders a horizontal ASCII bar chart, so the regenerated figures
+// read like figures in a terminal.
+type Chart struct {
+	Title string
+	Unit  string
+	// Width is the maximum bar width in characters (default 50).
+	Width  int
+	labels []string
+	values []float64
+}
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// String renders the chart with bars scaled to the maximum value.
+func (c *Chart) String() string {
+	if len(c.values) == 0 {
+		return ""
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := c.values[0]
+	labelW := len(c.labels[0])
+	for i := range c.values {
+		if c.values[i] > maxVal {
+			maxVal = c.values[i]
+		}
+		if len(c.labels[i]) > labelW {
+			labelW = len(c.labels[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", c.Title)
+	}
+	for i := range c.values {
+		bars := 0
+		if maxVal > 0 {
+			bars = int(c.values[i] / maxVal * float64(width))
+		}
+		if bars == 0 && c.values[i] > 0 {
+			bars = 1
+		}
+		fmt.Fprintf(&b, "%-*s  %s %.2f %s\n",
+			labelW, c.labels[i], strings.Repeat("#", bars), c.values[i], c.Unit)
+	}
+	return b.String()
+}

@@ -1,0 +1,527 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/insane-mw/insane/internal/fabric"
+	"github.com/insane-mw/insane/internal/mempool"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/qos"
+	"github.com/insane-mw/insane/internal/ringbuf"
+	"github.com/insane-mw/insane/internal/timebase"
+)
+
+// Client-facing errors.
+var (
+	// ErrClosed is returned on operations against closed connections,
+	// streams, sources or sinks.
+	ErrClosed = errors.New("core: closed")
+	// ErrBackpressure is returned by Emit when the session's TX ring is
+	// full; the caller keeps buffer ownership and should retry.
+	ErrBackpressure = errors.New("core: TX ring full, retry")
+	// ErrNoData is returned by non-blocking consume on an empty sink.
+	ErrNoData = errors.New("core: no data available")
+	// ErrTimeout is returned by blocking consume when the deadline hits.
+	ErrTimeout = errors.New("core: consume timeout")
+)
+
+// txToken travels from the client library to the runtime over the
+// per-technology TX rings: slot ids, never bytes (§5.3, Fig. 4).
+type txToken struct {
+	slot    mempool.SlotID
+	msgLen  int // INSANE header + payload
+	channel uint32
+	class   uint8
+	timing  qos.Timing
+	seq     uint32
+	src     *SourceHandle
+	vtime   timebase.VTime
+	bd      fabric.Breakdown
+}
+
+// rxToken travels from the runtime to a sink's RX ring.
+type rxToken struct {
+	slot    mempool.SlotID
+	buf     []byte
+	off     int
+	length  int
+	channel uint32
+	vtime   timebase.VTime
+	bd      fabric.Breakdown
+}
+
+// txRingDepth bounds each per-technology session TX ring.
+const txRingDepth = 1024
+
+// rxRingDepth bounds each sink RX ring.
+const rxRingDepth = 1024
+
+// ClientConn is one application session with the local runtime
+// (init_session in the paper's API, Fig. 2).
+type ClientConn struct {
+	rt *Runtime
+	id mempool.Owner
+
+	mu      sync.Mutex
+	txRings map[model.Tech]*ringbuf.MPMC[txToken]
+	streams map[uint64]*StreamHandle
+	closed  bool
+}
+
+// Owner returns the session's memory-pool owner id.
+func (c *ClientConn) Owner() mempool.Owner { return c.id }
+
+// txRing returns (creating if needed) the session's TX ring toward the
+// polling thread of the given technology.
+func (c *ClientConn) txRing(tech model.Tech) (*ringbuf.MPMC[txToken], error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if r, ok := c.txRings[tech]; ok {
+		return r, nil
+	}
+	r, err := ringbuf.NewMPMC[txToken](txRingDepth)
+	if err != nil {
+		return nil, err
+	}
+	c.txRings[tech] = r
+	return r, nil
+}
+
+// OpenStream maps the quality options to a technology available on this
+// host and returns the stream handle (create_stream).
+func (c *ClientConn) OpenStream(opts qos.Options) (*StreamHandle, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+
+	tech, fellBack := qos.Map(opts, c.rt.EffectiveCaps())
+	if fellBack {
+		c.rt.warnf("stream: acceleration requested (%s) but no accelerated technology available; falling back to %s", opts, tech)
+	}
+	if _, ok := c.rt.techs[tech]; !ok {
+		return nil, fmt.Errorf("core: mapped technology %s has no endpoint", tech)
+	}
+	h := &StreamHandle{
+		conn:     c,
+		id:       c.rt.nextStreamID.Add(1),
+		opts:     opts,
+		tech:     tech,
+		fellBack: fellBack,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.streams[h.id] = h
+	return h, nil
+}
+
+// Close tears the session down gracefully: pending emissions are flushed,
+// all streams close, and any slot still borrowed by the session is
+// reclaimed (the crash/migration backstop).
+func (c *ClientConn) Close() error {
+	c.flush(200 * time.Millisecond)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	streams := make([]*StreamHandle, 0, len(c.streams))
+	for _, s := range c.streams {
+		streams = append(streams, s)
+	}
+	c.streams = map[uint64]*StreamHandle{}
+	c.mu.Unlock()
+
+	for _, s := range streams {
+		s.close(false)
+	}
+	c.rt.dropConn(c)
+	return nil
+}
+
+// flush waits (bounded) until the session's TX rings are drained and
+// every polling thread has completed two further passes, so emitted
+// messages leave before the session's slots are reclaimed.
+func (c *ClientConn) flush(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		empty := true
+		for _, r := range c.txRings {
+			if r.Len() > 0 {
+				empty = false
+				break
+			}
+		}
+		c.mu.Unlock()
+		if empty {
+			break
+		}
+		c.rt.kickTX()
+		time.Sleep(20 * time.Microsecond)
+	}
+	c.rt.waitPollerPasses(2, deadline)
+}
+
+// StreamHandle is an open stream: a QoS contract mapped to a technology.
+type StreamHandle struct {
+	conn     *ClientConn
+	id       uint64
+	opts     qos.Options
+	tech     model.Tech
+	fellBack bool
+
+	mu      sync.Mutex
+	sources []*SourceHandle
+	sinks   []*SinkHandle
+	closed  bool
+}
+
+// Tech returns the technology the QoS mapper chose for this stream.
+func (h *StreamHandle) Tech() model.Tech { return h.tech }
+
+// FellBack reports whether the mapper had to disregard the acceleration
+// hint (the user-visible warning of §5.2).
+func (h *StreamHandle) FellBack() bool { return h.fellBack }
+
+// Options returns the stream's QoS options.
+func (h *StreamHandle) Options() qos.Options { return h.opts }
+
+// Close closes the stream and everything opened within it.
+func (h *StreamHandle) Close() { h.close(true) }
+
+func (h *StreamHandle) close(detach bool) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	sources := append([]*SourceHandle(nil), h.sources...)
+	sinks := append([]*SinkHandle(nil), h.sinks...)
+	h.sources, h.sinks = nil, nil
+	h.mu.Unlock()
+
+	for _, s := range sources {
+		s.Close()
+	}
+	for _, k := range sinks {
+		k.Close()
+	}
+	if detach {
+		h.conn.mu.Lock()
+		delete(h.conn.streams, h.id)
+		h.conn.mu.Unlock()
+	}
+}
+
+// CreateSource opens a data producer on a channel of this stream.
+func (h *StreamHandle) CreateSource(channel uint32) (*SourceHandle, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	ring, err := h.conn.txRing(h.tech)
+	if err != nil {
+		return nil, err
+	}
+	s := &SourceHandle{stream: h, channel: channel, ring: ring}
+	h.sources = append(h.sources, s)
+	return s, nil
+}
+
+// CreateSink opens a data consumer on a channel of this stream and
+// announces the subscription to the peer runtimes.
+func (h *StreamHandle) CreateSink(channel uint32) (*SinkHandle, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	h.mu.Unlock()
+
+	ring, err := ringbuf.NewMPMC[rxToken](rxRingDepth)
+	if err != nil {
+		return nil, err
+	}
+	k := &SinkHandle{
+		stream:  h,
+		channel: channel,
+		ring:    ring,
+		notify:  make(chan struct{}, 1),
+	}
+	if err := h.conn.rt.registerSink(k); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		h.conn.rt.unregisterSink(k)
+		return nil, ErrClosed
+	}
+	h.sinks = append(h.sinks, k)
+	return k, nil
+}
+
+// Buffer is a zero-copy send buffer borrowed from the runtime memory
+// manager (get_buffer). The application writes into Payload and must not
+// touch it again after Emit (no after-write protection, §5.1).
+type Buffer struct {
+	// Slot identifies the backing memory slot.
+	Slot mempool.SlotID
+	// Payload is the writable application area of the slot.
+	Payload []byte
+	// VTime seeds the packet's virtual clock; an echo server copies the
+	// request's VTime here so round-trip accounting accumulates.
+	VTime timebase.VTime
+	// Breakdown seeds the packet's stage accounting, like VTime.
+	Breakdown fabric.Breakdown
+
+	buf []byte
+}
+
+// Outcome reports what happened to an emitted message
+// (check_emit_outcome).
+type Outcome struct {
+	Seq uint32
+	// LocalSinks and RemotePeers count the deliveries fanned out.
+	LocalSinks  int
+	RemotePeers int
+	// Err is non-nil when the send failed.
+	Err error
+}
+
+// outcomeWindow is how many past outcomes a source retains.
+const outcomeWindow = 1024
+
+// SourceHandle is a data producer on one channel (create_source).
+type SourceHandle struct {
+	stream  *StreamHandle
+	channel uint32
+	ring    *ringbuf.MPMC[txToken]
+	seq     atomic.Uint32
+	closed  atomic.Bool
+
+	mu       sync.Mutex
+	outcomes [outcomeWindow]Outcome
+	haveOut  [outcomeWindow]bool
+}
+
+// Channel returns the source's channel id.
+func (s *SourceHandle) Channel() uint32 { return s.channel }
+
+// GetBuffer borrows a zero-copy buffer able to hold size payload bytes.
+func (s *SourceHandle) GetBuffer(size int) (*Buffer, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	slot, buf, err := s.stream.conn.rt.mm.Get(MsgHeadroom+size, s.stream.conn.id)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{
+		Slot:    slot,
+		Payload: buf[MsgHeadroom : MsgHeadroom+size],
+		buf:     buf,
+	}, nil
+}
+
+// Abort returns an unsent buffer to the pool.
+func (s *SourceHandle) Abort(b *Buffer) {
+	if b != nil {
+		_ = s.stream.conn.rt.mm.Release(b.Slot)
+	}
+}
+
+// Emit hands n payload bytes of the buffer to the runtime for
+// transmission (emit_data) and returns the sequence number usable with
+// Outcome. Ownership of the buffer passes to the runtime; on
+// ErrBackpressure the caller keeps it and may retry.
+func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if n < 0 || n > len(b.Payload) {
+		return 0, fmt.Errorf("core: emit length %d out of range 0-%d", n, len(b.Payload))
+	}
+	seq := s.seq.Add(1)
+	st := s.stream
+	encodeHeader(b.buf[headroomOffset:], header{
+		kind:    kindData,
+		channel: s.channel,
+		class:   st.opts.Class,
+		seq:     seq,
+	})
+	tok := txToken{
+		slot:    b.Slot,
+		msgLen:  HeaderLen + n,
+		channel: s.channel,
+		class:   st.opts.Class,
+		timing:  st.opts.Timing,
+		seq:     seq,
+		src:     s,
+		vtime:   b.VTime,
+		bd:      b.Breakdown,
+	}
+	// The IPC hop: the token crosses the client→runtime ring.
+	ipc := s.stream.conn.rt.rc.IPCTx
+	d := s.stream.conn.rt.tb.Scale(ipc.Class, ipc.Fixed+ipc.Amort)
+	tok.vtime = tok.vtime.Add(d)
+	tok.bd.Send += d
+	if !s.ring.TryPush(tok) {
+		return 0, ErrBackpressure
+	}
+	s.stream.conn.rt.kickTX()
+	return seq, nil
+}
+
+// headroomOffset is where the INSANE header starts inside a slot.
+const headroomOffset = MsgHeadroom - HeaderLen
+
+// recordOutcome stores the fate of an emitted message.
+func (s *SourceHandle) recordOutcome(o Outcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := int(o.Seq) % outcomeWindow
+	s.outcomes[idx] = o
+	s.haveOut[idx] = true
+}
+
+// Outcome retrieves the result of a past Emit, if still retained
+// (check_emit_outcome).
+func (s *SourceHandle) Outcome(seq uint32) (Outcome, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := int(seq) % outcomeWindow
+	if !s.haveOut[idx] || s.outcomes[idx].Seq != seq {
+		return Outcome{}, false
+	}
+	return s.outcomes[idx], true
+}
+
+// Close closes the source (close_source).
+func (s *SourceHandle) Close() { s.closed.Store(true) }
+
+// Delivery is one received message, borrowed zero-copy from the runtime
+// pools: release it as soon as processing ends (release_buffer).
+type Delivery struct {
+	Slot    mempool.SlotID
+	Payload []byte
+	Channel uint32
+	// VTime is the accumulated one-way virtual latency of the message.
+	VTime timebase.VTime
+	// Breakdown splits VTime by Fig. 6 stage.
+	Breakdown fabric.Breakdown
+}
+
+// SinkHandle is a data consumer on one channel (create_sink).
+type SinkHandle struct {
+	stream  *StreamHandle
+	channel uint32
+	ring    *ringbuf.MPMC[rxToken]
+	notify  chan struct{}
+	closed  atomic.Bool
+}
+
+// Channel returns the sink's channel id.
+func (k *SinkHandle) Channel() uint32 { return k.channel }
+
+// Notify returns a channel signaled when new data may be available; used
+// by the client library to run callbacks and blocking consumes without
+// spinning.
+func (k *SinkHandle) Notify() <-chan struct{} { return k.notify }
+
+// Available returns the number of queued deliveries (data_available).
+func (k *SinkHandle) Available() int { return k.ring.Len() }
+
+// TryConsume pops one delivery without blocking (consume_data with the
+// non-blocking flag).
+func (k *SinkHandle) TryConsume() (*Delivery, error) {
+	if k.closed.Load() {
+		return nil, ErrClosed
+	}
+	tok, ok := k.ring.TryPop()
+	if !ok {
+		return nil, ErrNoData
+	}
+	return &Delivery{
+		Slot:      tok.slot,
+		Payload:   tok.buf[tok.off : tok.off+tok.length],
+		Channel:   tok.channel,
+		VTime:     tok.vtime,
+		Breakdown: tok.bd,
+	}, nil
+}
+
+// Consume blocks until a delivery arrives or the timeout elapses
+// (consume_data with the blocking flag). A zero timeout waits forever.
+func (k *SinkHandle) Consume(timeout time.Duration) (*Delivery, error) {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		d, err := k.TryConsume()
+		if err == nil {
+			return d, nil
+		}
+		if !errors.Is(err, ErrNoData) {
+			return nil, err
+		}
+		select {
+		case <-k.notify:
+		case <-deadline:
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// Release returns a consumed delivery's memory to the pool
+// (release_buffer).
+func (k *SinkHandle) Release(d *Delivery) {
+	if d != nil {
+		_ = k.stream.conn.rt.mm.Release(d.Slot)
+	}
+}
+
+// Close closes the sink, withdrawing its subscription (close_sink).
+func (k *SinkHandle) Close() {
+	if k.closed.CompareAndSwap(false, true) {
+		k.stream.conn.rt.unregisterSink(k)
+		// Drain anything still queued so slots return to the pool.
+		for {
+			tok, ok := k.ring.TryPop()
+			if !ok {
+				break
+			}
+			_ = k.stream.conn.rt.mm.Release(tok.slot)
+		}
+	}
+}
+
+// wake signals the sink's notify channel without blocking.
+func (k *SinkHandle) wake() {
+	select {
+	case k.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"time"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/netstack"
+	"github.com/insane-mw/insane/internal/qos"
+)
+
+// Idle pacing: pollers back off exponentially when no work shows up and
+// are woken by Emit kicks ("threads are automatically paused when idle",
+// §5.3).
+const (
+	idleSleepMin = 2 * time.Microsecond
+	idleSleepMax = 200 * time.Microsecond
+)
+
+// outMeta rides along an outgoing packet to report its fate back to the
+// emitting source.
+type outMeta struct {
+	src     *SourceHandle
+	seq     uint32
+	channel uint32
+	timing  qos.Timing
+}
+
+// pollLoop is the body of one polling thread.
+func (r *Runtime) pollLoop(p *poller) {
+	defer r.wg.Done()
+	backoff := idleSleepMin
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		p.loops.Add(1)
+		work := 0
+		gated := false
+		for _, st := range p.states {
+			work += r.drainTX(p, st)
+			work += r.pollRX(st)
+			st.schedMu.Lock()
+			if st.tas.Pending() > 0 {
+				gated = true
+			}
+			st.schedMu.Unlock()
+		}
+		if work > 0 {
+			backoff = idleSleepMin
+			continue
+		}
+		sleep := backoff
+		if gated {
+			// Time-sensitive packets are waiting for their 802.1Qbv
+			// gate: poll finely so the open window is not missed.
+			sleep = idleSleepMin
+		}
+		select {
+		case <-p.stop:
+			return
+		case <-p.kick:
+			backoff = idleSleepMin
+		case <-time.After(sleep):
+			backoff *= 2
+			if backoff > idleSleepMax {
+				backoff = idleSleepMax
+			}
+		}
+	}
+}
+
+// drainTX moves tokens from the session rings through the scheduler and
+// out of the datapath. Returns the number of packets processed.
+func (r *Runtime) drainTX(p *poller, st *techState) int {
+	// 1. Pull tokens from every session's ring for this technology.
+	r.mu.RLock()
+	conns := r.connList
+	r.mu.RUnlock()
+
+	pulled := 0
+	for _, c := range conns {
+		c.mu.Lock()
+		ring := c.txRings[st.tech]
+		c.mu.Unlock()
+		if ring == nil {
+			continue
+		}
+		for pulled < r.burst {
+			tok, ok := ring.TryPop()
+			if !ok {
+				break
+			}
+			r.enqueueToken(st, tok)
+			pulled++
+		}
+	}
+
+	// 2. Dequeue what the schedulers release at the current time.
+	now := r.clock.Now()
+	batch := p.batch
+	st.schedMu.Lock()
+	n := st.fifo.Dequeue(batch, now)
+	n += st.tas.Dequeue(batch[n:], now)
+	st.schedMu.Unlock()
+	if n == 0 {
+		return pulled
+	}
+
+	// 3. Dispatch the released packets.
+	r.dispatch(st, batch[:n])
+	return pulled + n
+}
+
+// enqueueToken converts a TX token into a packet and files it with the
+// stream's scheduler, charging the scheduling cost.
+func (r *Runtime) enqueueToken(st *techState, tok txToken) {
+	buf, err := r.mm.Buf(tok.slot)
+	if err != nil {
+		// The session died between Emit and drain; nothing to send.
+		tok.src.recordOutcome(Outcome{Seq: tok.seq, Err: err})
+		return
+	}
+	pkt := &datapath.Packet{
+		Slot:      tok.slot,
+		Buf:       buf,
+		Off:       headroomOffset,
+		Len:       tok.msgLen,
+		Class:     tok.class,
+		Src:       st.local,
+		VTime:     tok.vtime,
+		Breakdown: tok.bd,
+		Ctx:       &outMeta{src: tok.src, seq: tok.seq, channel: tok.channel, timing: tok.timing},
+	}
+	pkt.Charge(r.rc.Sched, tok.msgLen, 1, r.tb)
+	st.schedMu.Lock()
+	if tok.timing == qos.TimingSensitive {
+		st.tas.Enqueue(pkt, r.clock.Now())
+	} else {
+		st.fifo.Enqueue(pkt, 0)
+	}
+	st.schedMu.Unlock()
+}
+
+// dispatch fans a batch of packets out to local sinks and remote peers,
+// records outcomes, and recycles the slots.
+func (r *Runtime) dispatch(st *techState, batch []*datapath.Packet) {
+	for _, pkt := range batch {
+		meta, ok := pkt.Ctx.(*outMeta)
+		if !ok {
+			_ = r.mm.Release(pkt.Slot)
+			continue
+		}
+
+		// Local sinks first: co-located source/sink pairs communicate
+		// through shared memory directly (§5.1).
+		sinks := r.sinksFor(meta.channel)
+		if len(sinks) > 0 {
+			_ = r.mm.AddRef(pkt.Slot, len(sinks))
+			r.deliverLocal(pkt, meta.channel, sinks)
+		}
+
+		// Remote peers that subscribed to the channel.
+		subs := r.subs.subscribers(meta.channel)
+		sent := 0
+		var sendErr error
+		for _, sub := range subs {
+			if err := r.sendToPeer(st, pkt, sub); err != nil {
+				sendErr = err
+				continue
+			}
+			sent++
+		}
+		meta.src.recordOutcome(Outcome{
+			Seq:         meta.seq,
+			LocalSinks:  len(sinks),
+			RemotePeers: sent,
+			Err:         sendErr,
+		})
+		if sent > 0 {
+			r.txMessages.Add(uint64(sent))
+		}
+		_ = r.mm.Release(pkt.Slot)
+	}
+}
+
+// sendToPeer transmits one packet to one subscribed peer, choosing the
+// technology plane: the stream's own technology when the peer has it,
+// otherwise the technology the peer asked for in its subscription,
+// otherwise the kernel plane (counted as a downgrade).
+func (r *Runtime) sendToPeer(st *techState, pkt *datapath.Packet, sub remoteSub) error {
+	target := st
+	if _, ok := sub.peer.Addrs[st.tech]; !ok {
+		// The peer cannot receive on this plane: honor its subscription
+		// technology if we have it, else fall back to kernel.
+		alt, ok := r.techs[sub.tech]
+		if !ok {
+			alt = r.techs[model.TechKernelUDP]
+		}
+		if _, ok := sub.peer.Addrs[alt.tech]; !ok {
+			alt = r.techs[model.TechKernelUDP]
+		}
+		target = alt
+		r.techDowngrades.Add(1)
+	}
+	ip, ok := sub.peer.Addrs[target.tech]
+	if !ok {
+		return errPeerUnreachable(sub.peer.Name)
+	}
+	dst := netstack.Endpoint{IP: ip, Port: TechPort(target.tech)}
+
+	// Per-peer packet copy: charges and framing are destination-specific
+	// while the slot bytes are shared (the wire copies on Transmit).
+	out := *pkt
+	out.Ctx = nil
+
+	if target.info.NeedsUserStack {
+		// Packet processing engine: frame in place using the slot
+		// headroom (§5.3).
+		out.Charge(r.rc.NetstackTx, out.Len, 1, r.tb)
+		dstMAC, err := r.cfg.Resolver.Resolve(dst.IP)
+		if err != nil {
+			return err
+		}
+		frameLen, err := netstack.EncodeUDP(out.Buf, netstack.FrameMeta{
+			SrcMAC:       r.portMAC(target),
+			DstMAC:       dstMAC,
+			Src:          target.local,
+			Dst:          dst,
+			TrafficClass: out.Class,
+		}, out.Len, r.portMTU(target))
+		if err != nil {
+			return err
+		}
+		out.Off = 0
+		out.Len = frameLen
+		out.Framed = true
+	}
+
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	_, err := target.ep.Send([]*datapath.Packet{&out}, dst)
+	return err
+}
+
+// deliverLocal pushes a packet's slot to co-located sinks via shared
+// memory (one reference each).
+func (r *Runtime) deliverLocal(pkt *datapath.Packet, channel uint32, sinks []*SinkHandle) {
+	payloadOff := pkt.Off + HeaderLen
+	payloadLen := pkt.Len - HeaderLen
+	for i, k := range sinks {
+		tok := rxToken{
+			slot:    pkt.Slot,
+			buf:     pkt.Buf,
+			off:     payloadOff,
+			length:  payloadLen,
+			channel: channel,
+			vtime:   pkt.VTime,
+			bd:      pkt.Breakdown,
+		}
+		// Delivery cost, plus the per-extra-sink cache effect (Fig. 8b).
+		d := r.deliveryCost(i)
+		tok.vtime = tok.vtime.Add(d)
+		tok.bd.Recv += d
+		if !k.ring.TryPush(tok) {
+			_ = r.mm.Release(pkt.Slot)
+			r.ringFullDrops.Add(1)
+			continue
+		}
+		r.localDeliveries.Add(1)
+		k.wake()
+	}
+}
+
+// deliveryCost returns the charged cost of delivering to the i-th sink of
+// a packet's fanout.
+func (r *Runtime) deliveryCost(i int) time.Duration {
+	d := r.tb.Scale(r.rc.Deliver.Class, r.rc.Deliver.Fixed+r.rc.Deliver.Amort)
+	if i > 0 {
+		extra := r.rc.PerExtraSinkNs
+		if r.rc.SinkCacheKnee > 0 && i >= r.rc.SinkCacheKnee {
+			extra = r.rc.PerExtraSinkSpillNs
+		}
+		d += r.tb.Scale(model.ScaleRuntime, time.Duration(extra))
+	}
+	return d
+}
+
+// pollRX drains one technology's receive path: poll the plugin, run the
+// packet processing engine where needed, handle control messages, and
+// dispatch data to local sinks.
+func (r *Runtime) pollRX(st *techState) int {
+	st.mu.Lock()
+	pkts, err := st.ep.Poll(r.burst)
+	st.mu.Unlock()
+	if err != nil || len(pkts) == 0 {
+		return 0
+	}
+	for _, pkt := range pkts {
+		r.receiveOne(st, pkt)
+	}
+	return len(pkts)
+}
+
+// receiveOne processes one inbound packet.
+func (r *Runtime) receiveOne(st *techState, pkt *datapath.Packet) {
+	if pkt.Framed {
+		// Packet processing engine, receive side.
+		pkt.Charge(r.rc.NetstackRx, pkt.Len, 1, r.tb)
+		meta, payload, err := netstack.DecodeUDP(pkt.Bytes())
+		if err != nil || meta.Dst.Port != st.local.Port {
+			_ = r.mm.Release(pkt.Slot)
+			return
+		}
+		pkt.Src, pkt.Dst = meta.Src, meta.Dst
+		pkt.Off += netstack.HeadersLen
+		pkt.Len = len(payload)
+		pkt.Framed = false
+	}
+
+	h, err := decodeHeader(pkt.Bytes())
+	if err != nil {
+		_ = r.mm.Release(pkt.Slot)
+		return
+	}
+
+	switch h.kind {
+	case kindSub, kindUnsub:
+		r.handleControl(h, pkt.Src.IP)
+		_ = r.mm.Release(pkt.Slot)
+		return
+	case kindData:
+		// fallthrough below
+	}
+	r.rxMessages.Add(1)
+	// DMA/PCIe byte-touch cost of the runtime receive path.
+	touch := r.tb.Scale(model.ScaleRuntime, time.Duration(r.rc.RxDMATouchNs*float64(pkt.Len)))
+	pkt.VTime = pkt.VTime.Add(touch)
+	pkt.Breakdown.Recv += touch
+
+	sinks := r.sinksFor(h.channel)
+	if len(sinks) == 0 {
+		r.noSinkDrops.Add(1)
+		_ = r.mm.Release(pkt.Slot)
+		return
+	}
+	if len(sinks) > 1 {
+		_ = r.mm.AddRef(pkt.Slot, len(sinks)-1)
+	}
+	r.deliverRemote(pkt, h.channel, sinks)
+}
+
+// deliverRemote hands a received packet's slot to the subscribed sinks.
+func (r *Runtime) deliverRemote(pkt *datapath.Packet, channel uint32, sinks []*SinkHandle) {
+	payloadOff := pkt.Off + HeaderLen
+	payloadLen := pkt.Len - HeaderLen
+	for i, k := range sinks {
+		tok := rxToken{
+			slot:    pkt.Slot,
+			buf:     pkt.Buf,
+			off:     payloadOff,
+			length:  payloadLen,
+			channel: channel,
+			vtime:   pkt.VTime,
+			bd:      pkt.Breakdown,
+		}
+		d := r.deliveryCost(i)
+		tok.vtime = tok.vtime.Add(d)
+		tok.bd.Recv += d
+		if !k.ring.TryPush(tok) {
+			_ = r.mm.Release(pkt.Slot)
+			r.ringFullDrops.Add(1)
+			continue
+		}
+		k.wake()
+	}
+}
+
+// handleControl applies a SUB/UNSUB message from a peer.
+func (r *Runtime) handleControl(h header, src netstack.IPv4) {
+	peer, ok := r.subs.peerByIP(src)
+	if !ok {
+		r.warnf("control message from unknown peer %s", src)
+		return
+	}
+	tech, err := techFromAux(h.aux)
+	if err != nil {
+		r.warnf("control message with bad tech from %s", peer.Name)
+		return
+	}
+	switch h.kind {
+	case kindSub:
+		r.subs.subscribe(h.channel, peer, tech)
+	case kindUnsub:
+		r.subs.unsubscribe(h.channel, peer)
+	}
+}
+
+// errPeerUnreachable builds a send error for a peer with no usable plane.
+func errPeerUnreachable(name string) error {
+	return &peerUnreachableError{name: name}
+}
+
+// peerUnreachableError reports a peer that cannot be reached on any plane.
+type peerUnreachableError struct{ name string }
+
+func (e *peerUnreachableError) Error() string {
+	return "core: peer " + e.name + " unreachable on any technology plane"
+}
+
+// portMAC returns the MAC of a technology's port.
+func (r *Runtime) portMAC(st *techState) netstack.MAC {
+	return r.cfg.Ports[st.tech].MAC()
+}
+
+// portMTU returns the MTU of a technology's port.
+func (r *Runtime) portMTU(st *techState) int {
+	return r.cfg.Ports[st.tech].MTU()
+}

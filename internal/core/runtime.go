@@ -1,0 +1,521 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/datapath/plugins"
+	"github.com/insane-mw/insane/internal/fabric"
+	"github.com/insane-mw/insane/internal/mempool"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/netstack"
+	"github.com/insane-mw/insane/internal/ringbuf"
+	"github.com/insane-mw/insane/internal/sched"
+	"github.com/insane-mw/insane/internal/timebase"
+)
+
+// UDPPortBase is the base UDP port of runtime endpoints; each technology
+// listens on UDPPortBase + tech id, so heterogeneous peers can address
+// each other's planes deterministically.
+const UDPPortBase = 46000
+
+// TechPort returns the UDP port a runtime uses for one technology.
+func TechPort(t model.Tech) uint16 { return UDPPortBase + uint16(t) }
+
+// Config configures a Runtime.
+type Config struct {
+	// Name identifies the runtime in logs and warnings.
+	Name string
+	// Clock drives the TSN gate schedule and idle pacing. Defaults to a
+	// RealClock.
+	Clock timebase.Clock
+	// Testbed selects the calibrated cost environment (default Local).
+	Testbed model.Testbed
+	// Caps advertises which acceleration technologies this host offers.
+	Caps datapath.Caps
+	// Ports maps each available technology to its fabric NIC port. A
+	// kernel port is mandatory (every host has a kernel stack).
+	Ports map[model.Tech]*fabric.Port
+	// Resolver is the fabric's IP→MAC table.
+	Resolver *netstack.Resolver
+	// Peers lists the remote runtimes reachable from this host.
+	Peers []Peer
+	// Mem configures the memory manager pools.
+	Mem mempool.Config
+	// GCL is the 802.1Qbv gate control list for time-sensitive streams
+	// (default sched.DefaultGCL).
+	GCL sched.GCL
+	// SharedPoller runs every datapath plugin on a single polling
+	// thread (lowest resource usage); the default dedicates one thread
+	// per plugin (§5.3: the mapping is configurable).
+	SharedPoller bool
+	// PollersPerPlugin runs N polling threads per datapath plugin
+	// (default 1). The paper's §8 identifies receive-side parallelism —
+	// "map the datapath plugins to multiple polling threads" — as the
+	// answer to a single sender overflowing a single-core sink; this
+	// implements it: endpoint access is serialized, but packet
+	// processing and sink delivery proceed in parallel. Ignored when
+	// SharedPoller is set.
+	PollersPerPlugin int
+	// Burst caps the packets moved per polling iteration
+	// (default model.DefaultBurst).
+	Burst int
+	// Logf receives warnings and diagnostics; nil keeps them only in
+	// Warnings().
+	Logf func(format string, args ...any)
+}
+
+// Stats aggregates runtime activity counters.
+type Stats struct {
+	// TxMessages counts messages sent to remote peers (per-peer sends).
+	TxMessages uint64
+	// RxMessages counts data messages received from the network.
+	RxMessages uint64
+	// LocalDeliveries counts shared-memory deliveries to co-located
+	// sinks.
+	LocalDeliveries uint64
+	// NoSinkDrops counts received messages with no subscribed sink.
+	NoSinkDrops uint64
+	// RingFullDrops counts deliveries dropped on full sink rings.
+	RingFullDrops uint64
+	// TechDowngrades counts remote sends that used a technology below
+	// the stream's mapping because the peer lacks it.
+	TechDowngrades uint64
+	// Endpoint holds per-technology endpoint statistics.
+	Endpoint map[model.Tech]datapath.Stats
+}
+
+// techState binds one technology's endpoint with its schedulers.
+type techState struct {
+	tech  model.Tech
+	info  model.TechInfo
+	local netstack.Endpoint
+
+	// mu serializes endpoint access: pollers own their techs, but
+	// cross-technology sends (peer lacks the stream's tech) come from
+	// other pollers, and PollersPerPlugin > 1 shares the endpoint.
+	mu sync.Mutex
+	ep datapath.Endpoint
+
+	// schedMu guards the schedulers when several pollers serve this
+	// plugin (§8's multi-threaded datapath).
+	schedMu sync.Mutex
+	fifo    *sched.FIFO
+	tas     *sched.TAS
+}
+
+// Runtime is the INSANE runtime instance of one host.
+type Runtime struct {
+	cfg   Config
+	name  string
+	clock timebase.Clock
+	tb    model.Testbed
+	mm    *mempool.Manager
+	rc    model.RuntimeCosts
+	subs  *subTable
+	techs map[model.Tech]*techState
+	burst int
+
+	mu     sync.RWMutex
+	conns  map[mempool.Owner]*ClientConn
+	sinks  map[uint32][]*SinkHandle
+	warned []string
+	// connList is a cached snapshot of conns for the pollers' hot loop;
+	// rebuilt whenever a session connects or disconnects.
+	connList []*ClientConn
+
+	nextConnID   atomic.Int32
+	nextStreamID atomic.Uint64
+
+	txMessages      atomic.Uint64
+	rxMessages      atomic.Uint64
+	localDeliveries atomic.Uint64
+	noSinkDrops     atomic.Uint64
+	ringFullDrops   atomic.Uint64
+	techDowngrades  atomic.Uint64
+
+	pollers []*poller
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// poller is one polling thread serving one or more datapaths (§5.3).
+type poller struct {
+	states []*techState
+	kick   chan struct{}
+	stop   chan struct{}
+	// batch is the poller's scratch dequeue buffer (no per-iteration
+	// allocation on the hot path).
+	batch []*datapath.Packet
+	// loops counts polling iterations; session close uses it to wait for
+	// full passes so in-flight tokens drain before slots are reclaimed.
+	loops atomic.Uint64
+}
+
+// NewRuntime opens the endpoints for every available technology and
+// starts the polling threads.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Ports[model.TechKernelUDP] == nil {
+		return nil, errors.New("core: a kernel UDP port is mandatory")
+	}
+	if cfg.Resolver == nil {
+		return nil, errors.New("core: resolver required")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = timebase.NewRealClock()
+	}
+	tb := cfg.Testbed
+	if tb.Name == "" {
+		tb = model.Local
+	}
+	gcl := cfg.GCL
+	if gcl == nil {
+		gcl = sched.DefaultGCL()
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = model.DefaultBurst
+	}
+	mm, err := mempool.NewManager(cfg.Mem)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	r := &Runtime{
+		cfg:   cfg,
+		name:  cfg.Name,
+		clock: clock,
+		tb:    tb,
+		mm:    mm,
+		rc:    model.DefaultRuntimeCosts(),
+		subs:  newSubTable(cfg.Peers),
+		techs: make(map[model.Tech]*techState),
+		burst: burst,
+		conns: make(map[mempool.Owner]*ClientConn),
+		sinks: make(map[uint32][]*SinkHandle),
+	}
+
+	alloc := func(size int) (mempool.SlotID, []byte, error) {
+		return mm.Get(size, mempool.NoOwner)
+	}
+	for _, tech := range cfg.Caps.List() {
+		port := cfg.Ports[tech]
+		if port == nil {
+			continue // capability advertised but no port wired: skip
+		}
+		plugin, err := plugins.ByTech(tech)
+		if err != nil {
+			return nil, err
+		}
+		local := netstack.Endpoint{IP: port.IP(), Port: TechPort(tech)}
+		ep, err := plugin.Open(datapath.Config{
+			Port:     port,
+			Resolver: cfg.Resolver,
+			Local:    local,
+			Alloc:    alloc,
+			Testbed:  tb,
+			Burst:    burst,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: open %s: %w", tech, err)
+		}
+		tas, err := sched.NewTAS(gcl)
+		if err != nil {
+			return nil, err
+		}
+		r.techs[tech] = &techState{
+			tech:  tech,
+			info:  plugin.Info(),
+			local: local,
+			ep:    ep,
+			fifo:  sched.NewFIFO(),
+			tas:   tas,
+		}
+	}
+
+	// Thread mapping (§5.3): one polling thread per datapath plugin by
+	// default, a single shared thread when resource consumption is
+	// paramount, or several threads per plugin for receive-side
+	// parallelism (§8).
+	var groups [][]*techState
+	if cfg.SharedPoller {
+		all := make([]*techState, 0, len(r.techs))
+		for _, st := range r.techs {
+			all = append(all, st)
+		}
+		groups = [][]*techState{all}
+	} else {
+		per := cfg.PollersPerPlugin
+		if per < 1 {
+			per = 1
+		}
+		for _, st := range r.techs {
+			for i := 0; i < per; i++ {
+				groups = append(groups, []*techState{st})
+			}
+		}
+	}
+	for _, g := range groups {
+		p := &poller{
+			states: g,
+			kick:   make(chan struct{}, 1),
+			stop:   make(chan struct{}),
+			batch:  make([]*datapath.Packet, burst),
+		}
+		r.pollers = append(r.pollers, p)
+		r.wg.Add(1)
+		go r.pollLoop(p)
+	}
+	return r, nil
+}
+
+// Name returns the runtime's configured name.
+func (r *Runtime) Name() string { return r.name }
+
+// Mem exposes the runtime memory manager (used by tests and benchmarks).
+func (r *Runtime) Mem() *mempool.Manager { return r.mm }
+
+// Testbed returns the cost environment the runtime runs in.
+func (r *Runtime) Testbed() model.Testbed { return r.tb }
+
+// EffectiveCaps reports the technologies with an open endpoint.
+func (r *Runtime) EffectiveCaps() datapath.Caps {
+	var caps datapath.Caps
+	for t := range r.techs {
+		switch t {
+		case model.TechDPDK:
+			caps.DPDK = true
+		case model.TechXDP:
+			caps.XDP = true
+		case model.TechRDMA:
+			caps.RDMA = true
+		}
+	}
+	return caps
+}
+
+// Techs lists the open technologies in Table 1 order.
+func (r *Runtime) Techs() []model.Tech {
+	var out []model.Tech
+	for _, t := range []model.Tech{model.TechKernelUDP, model.TechXDP, model.TechDPDK, model.TechRDMA} {
+		if _, ok := r.techs[t]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Connect opens a client session with the runtime (init_session).
+func (r *Runtime) Connect() (*ClientConn, error) {
+	if r.stopped.Load() {
+		return nil, ErrClosed
+	}
+	c := &ClientConn{
+		rt:      r,
+		id:      mempool.Owner(r.nextConnID.Add(1)),
+		txRings: make(map[model.Tech]*ringbuf.MPMC[txToken]),
+		streams: make(map[uint64]*StreamHandle),
+	}
+	r.mu.Lock()
+	r.conns[c.id] = c
+	r.rebuildConnListLocked()
+	r.mu.Unlock()
+	return c, nil
+}
+
+// rebuildConnListLocked refreshes the pollers' session snapshot; callers
+// hold r.mu.
+func (r *Runtime) rebuildConnListLocked() {
+	list := make([]*ClientConn, 0, len(r.conns))
+	for _, c := range r.conns {
+		list = append(list, c)
+	}
+	r.connList = list
+}
+
+// dropConn removes a closed session and reclaims its memory.
+func (r *Runtime) dropConn(c *ClientConn) {
+	r.mu.Lock()
+	delete(r.conns, c.id)
+	r.rebuildConnListLocked()
+	r.mu.Unlock()
+	if n := r.mm.ReleaseOwner(c.id); n > 0 {
+		r.warnf("session %d: reclaimed %d leaked slots on detach", c.id, n)
+	}
+}
+
+// SubscriberCount reports how many remote peers subscribed to a channel
+// (useful to avoid startup races in tests and examples).
+func (r *Runtime) SubscriberCount(channel uint32) int {
+	return r.subs.count(channel)
+}
+
+// Warnings returns the warnings accumulated so far (e.g. QoS fallback
+// decisions, §5.2).
+func (r *Runtime) Warnings() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.warned...)
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (r *Runtime) Stats() Stats {
+	s := Stats{
+		TxMessages:      r.txMessages.Load(),
+		RxMessages:      r.rxMessages.Load(),
+		LocalDeliveries: r.localDeliveries.Load(),
+		NoSinkDrops:     r.noSinkDrops.Load(),
+		RingFullDrops:   r.ringFullDrops.Load(),
+		TechDowngrades:  r.techDowngrades.Load(),
+		Endpoint:        make(map[model.Tech]datapath.Stats, len(r.techs)),
+	}
+	for t, st := range r.techs {
+		s.Endpoint[t] = st.ep.Stats()
+	}
+	return s
+}
+
+// Close stops the polling threads and releases the endpoints.
+func (r *Runtime) Close() error {
+	if !r.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, p := range r.pollers {
+		close(p.stop)
+	}
+	r.wg.Wait()
+	for _, st := range r.techs {
+		_ = st.ep.Close()
+	}
+	return nil
+}
+
+// warnf records (and optionally logs) a warning.
+func (r *Runtime) warnf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	r.mu.Lock()
+	r.warned = append(r.warned, msg)
+	r.mu.Unlock()
+	if r.cfg.Logf != nil {
+		r.cfg.Logf("insane[%s]: %s", r.name, msg)
+	}
+}
+
+// waitPollerPasses blocks until every polling thread advances by at least
+// n iterations (or the deadline passes), kicking them awake.
+func (r *Runtime) waitPollerPasses(n uint64, deadline time.Time) {
+	start := make([]uint64, len(r.pollers))
+	for i, p := range r.pollers {
+		start[i] = p.loops.Load()
+	}
+	for time.Now().Before(deadline) {
+		if r.stopped.Load() {
+			return
+		}
+		done := true
+		for i, p := range r.pollers {
+			if p.loops.Load() < start[i]+n {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		r.kickTX()
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// kickTX wakes idle pollers after an Emit.
+func (r *Runtime) kickTX() {
+	for _, p := range r.pollers {
+		select {
+		case p.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// registerSink adds a sink to the channel dispatch table and announces
+// the subscription to all peers.
+func (r *Runtime) registerSink(k *SinkHandle) error {
+	r.mu.Lock()
+	r.sinks[k.channel] = append(r.sinks[k.channel], k)
+	r.mu.Unlock()
+	return r.broadcastControl(kindSub, k.channel, k.stream.tech)
+}
+
+// unregisterSink removes a sink; the last sink of a channel withdraws the
+// remote subscription.
+func (r *Runtime) unregisterSink(k *SinkHandle) {
+	r.mu.Lock()
+	list := r.sinks[k.channel]
+	for i, s := range list {
+		if s == k {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(r.sinks, k.channel)
+	} else {
+		r.sinks[k.channel] = list
+	}
+	last := len(list) == 0
+	r.mu.Unlock()
+	if last && !r.stopped.Load() {
+		_ = r.broadcastControl(kindUnsub, k.channel, k.stream.tech)
+	}
+}
+
+// sinksFor snapshots the local sinks of a channel.
+func (r *Runtime) sinksFor(channel uint32) []*SinkHandle {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	list := r.sinks[channel]
+	if len(list) == 0 {
+		return nil
+	}
+	return append([]*SinkHandle(nil), list...)
+}
+
+// broadcastControl sends a SUB/UNSUB message for a channel to every peer
+// over the always-available kernel plane.
+func (r *Runtime) broadcastControl(kind msgKind, channel uint32, tech model.Tech) error {
+	st := r.techs[model.TechKernelUDP]
+	for i := range r.cfg.Peers {
+		peer := &r.cfg.Peers[i]
+		ip, ok := peer.Addrs[model.TechKernelUDP]
+		if !ok {
+			continue
+		}
+		slot, buf, err := r.mm.Get(MsgHeadroom, mempool.NoOwner)
+		if err != nil {
+			return err
+		}
+		encodeHeader(buf[headroomOffset:], header{
+			kind:    kind,
+			channel: channel,
+			aux:     uint8(tech),
+		})
+		pkt := &datapath.Packet{
+			Slot: slot, Buf: buf,
+			Off: headroomOffset, Len: HeaderLen,
+			Src: st.local,
+		}
+		st.mu.Lock()
+		_, err = st.ep.Send([]*datapath.Packet{pkt}, netstack.Endpoint{IP: ip, Port: TechPort(model.TechKernelUDP)})
+		st.mu.Unlock()
+		_ = r.mm.Release(slot)
+		if err != nil {
+			return fmt.Errorf("core: control send to %s: %w", peer.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/netstack"
+)
+
+// Peer is a statically configured remote INSANE runtime and the per-tech
+// addresses of its NIC ports (heterogeneous edge nodes expose different
+// subsets of technologies).
+type Peer struct {
+	Name string
+	// Addrs maps each technology the peer supports to the IP of the
+	// peer's port for that technology.
+	Addrs map[model.Tech]netstack.IPv4
+}
+
+// remoteSub records that a peer hosts sinks for a channel, reachable via
+// a given technology (carried by the SUB control message).
+type remoteSub struct {
+	peer *Peer
+	tech model.Tech
+}
+
+// subTable tracks which peers subscribed to which channels, and resolves
+// sender-side destinations. Safe for concurrent use: the control plane
+// updates it from polling threads while TX paths read it.
+type subTable struct {
+	mu sync.RWMutex
+	// byChannel maps channel id → peer name → subscription.
+	byChannel map[uint32]map[string]remoteSub
+	// byIP resolves a control message's source IP to its peer.
+	byIP map[netstack.IPv4]*Peer
+}
+
+// newSubTable indexes the static peer set.
+func newSubTable(peers []Peer) *subTable {
+	t := &subTable{
+		byChannel: make(map[uint32]map[string]remoteSub),
+		byIP:      make(map[netstack.IPv4]*Peer),
+	}
+	for i := range peers {
+		p := &peers[i]
+		for _, ip := range p.Addrs {
+			t.byIP[ip] = p
+		}
+	}
+	return t
+}
+
+// peerByIP resolves the peer owning an address.
+func (t *subTable) peerByIP(ip netstack.IPv4) (*Peer, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p, ok := t.byIP[ip]
+	return p, ok
+}
+
+// subscribe records a remote subscription.
+func (t *subTable) subscribe(channel uint32, peer *Peer, tech model.Tech) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.byChannel[channel]
+	if !ok {
+		m = make(map[string]remoteSub)
+		t.byChannel[channel] = m
+	}
+	m[peer.Name] = remoteSub{peer: peer, tech: tech}
+}
+
+// unsubscribe removes a remote subscription.
+func (t *subTable) unsubscribe(channel uint32, peer *Peer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m, ok := t.byChannel[channel]; ok {
+		delete(m, peer.Name)
+		if len(m) == 0 {
+			delete(t.byChannel, channel)
+		}
+	}
+}
+
+// subscribers returns a snapshot of the remote subscriptions for a channel.
+func (t *subTable) subscribers(channel uint32) []remoteSub {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	m := t.byChannel[channel]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]remoteSub, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	return out
+}
+
+// count returns how many peers subscribed to a channel.
+func (t *subTable) count(channel uint32) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byChannel[channel])
+}

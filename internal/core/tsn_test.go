@@ -1,0 +1,350 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/qos"
+	"github.com/insane-mw/insane/internal/sched"
+	"github.com/insane-mw/insane/internal/timebase"
+)
+
+// TestTSNGateWaitAccountedInVTime drives a time-sensitive stream with a
+// SimClock pinned inside the closed-gate region and verifies the gate
+// wait surfaces in the delivery's virtual latency once the gate opens.
+func TestTSNGateWaitAccountedInVTime(t *testing.T) {
+	clock := &timebase.SimClock{}
+	gcl := sched.GCL{
+		{Duration: 100 * time.Microsecond, Gates: 1 << 7}, // class 7 only
+		{Duration: 100 * time.Microsecond, Gates: 0x7F},   // the rest
+	}
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, func(c *Config) {
+		c.Clock = clock
+		c.GCL = gcl
+	})
+
+	connA, _ := w.a.Connect()
+	connB, _ := w.b.Connect()
+	opts := qos.Options{Timing: qos.TimingSensitive, Class: 0} // gated class
+	stA, err := connA.OpenStream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, _ := connB.OpenStream(opts)
+	sink, _ := stB.CreateSink(21)
+	waitSubscribed(t, w.a, 21, 1)
+	src, _ := stA.CreateSource(21)
+
+	// Pin the clock inside the protected window: class 0 is gated.
+	clock.Set(timebase.VTime(10 * time.Microsecond))
+	sendOn(t, src, []byte("gated"))
+
+	// Give the poller time to pull the token into the shaper; the gate
+	// stays closed so nothing must be delivered.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := sink.TryConsume(); err == nil {
+		t.Fatal("packet leaked through a closed gate")
+	}
+
+	// Open the gate: move the clock into the open window.
+	clock.Set(timebase.VTime(150 * time.Microsecond))
+	d, err := sink.Consume(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Release(d)
+	// The delivery must account ≥ the 140µs spent waiting for the gate.
+	if d.VTime.Duration() < 140*time.Microsecond {
+		t.Errorf("delivery vtime = %v, want ≥140µs of gate wait", d.VTime)
+	}
+}
+
+// TestBestEffortUnaffectedByGates: FIFO streams must flow while the TSN
+// gate for other classes is closed.
+func TestBestEffortUnaffectedByGates(t *testing.T) {
+	clock := &timebase.SimClock{}
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, func(c *Config) {
+		c.Clock = clock
+	})
+	connA, _ := w.a.Connect()
+	connB, _ := w.b.Connect()
+	stA, _ := connA.OpenStream(qos.Options{})
+	stB, _ := connB.OpenStream(qos.Options{})
+	sink, _ := stB.CreateSink(22)
+	waitSubscribed(t, w.a, 22, 1)
+	src, _ := stA.CreateSource(22)
+	sendOn(t, src, []byte("best effort"))
+	if _, err := sink.Consume(2 * time.Second); err != nil {
+		t.Fatalf("best-effort delivery blocked: %v", err)
+	}
+}
+
+// TestConcurrentSessionsIsolated runs several sessions pumping distinct
+// channels simultaneously and checks that nothing crosses over.
+func TestConcurrentSessionsIsolated(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{DPDK: true}, datapath.Caps{DPDK: true}, nil)
+	const sessions = 4
+	const perSession = 50
+
+	type lane struct {
+		src  *SourceHandle
+		sink *SinkHandle
+		ch   uint32
+	}
+	lanes := make([]lane, sessions)
+	for i := range lanes {
+		connA, err := w.a.Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		connB, err := w.b.Connect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stA, _ := connA.OpenStream(qos.Options{Datapath: qos.DatapathFast})
+		stB, _ := connB.OpenStream(qos.Options{Datapath: qos.DatapathFast})
+		ch := uint32(100 + i)
+		sink, err := stB.CreateSink(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitSubscribed(t, w.a, ch, 1)
+		src, err := stA.CreateSource(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanes[i] = lane{src: src, sink: sink, ch: ch}
+	}
+
+	done := make(chan error, sessions)
+	for i := range lanes {
+		go func(i int) {
+			l := lanes[i]
+			for m := 0; m < perSession; m++ {
+				b, err := l.src.GetBuffer(8)
+				if err != nil {
+					done <- err
+					return
+				}
+				b.Payload[0] = byte(i)
+				b.Payload[1] = byte(m)
+				for {
+					_, err = l.src.Emit(b, 8)
+					if err != ErrBackpressure {
+						break
+					}
+					time.Sleep(5 * time.Microsecond)
+				}
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for range lanes {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, l := range lanes {
+		for m := 0; m < perSession; m++ {
+			d, err := l.sink.Consume(2 * time.Second)
+			if err != nil {
+				t.Fatalf("lane %d msg %d: %v", i, m, err)
+			}
+			if d.Payload[0] != byte(i) {
+				t.Fatalf("lane %d received lane %d's message", i, d.Payload[0])
+			}
+			if d.Payload[1] != byte(m) {
+				t.Fatalf("lane %d: message %d arrived as %d (order broken)", i, m, d.Payload[1])
+			}
+			l.sink.Release(d)
+		}
+	}
+}
+
+// TestBackpressureSurfaceToEmitter fills the TX ring of a stopped-world
+// session and checks Emit reports ErrBackpressure instead of blocking or
+// dropping silently.
+func TestBackpressureSurfaceToEmitter(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, nil)
+	// Stop the pollers so the ring cannot drain.
+	for _, p := range w.a.pollers {
+		close(p.stop)
+	}
+	w.a.wg.Wait()
+
+	conn, _ := w.a.Connect()
+	st, _ := conn.OpenStream(qos.Options{})
+	src, _ := st.CreateSource(1)
+	sawBackpressure := false
+	for i := 0; i < txRingDepth+10; i++ {
+		b, err := src.GetBuffer(16)
+		if err != nil {
+			break // pool exhausted first is also acceptable backpressure
+		}
+		if _, err := src.Emit(b, 16); err == ErrBackpressure {
+			sawBackpressure = true
+			src.Abort(b)
+			break
+		}
+	}
+	if !sawBackpressure {
+		t.Error("full TX ring never reported ErrBackpressure")
+	}
+	w.a.stopped.Store(true) // avoid double close in cleanup
+}
+
+// TestStatsAccumulate sanity-checks the runtime counters across a small
+// workload.
+func TestStatsAccumulate(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, nil)
+	connA, _ := w.a.Connect()
+	connB, _ := w.b.Connect()
+	stA, _ := connA.OpenStream(qos.Options{})
+	stB, _ := connB.OpenStream(qos.Options{})
+	sink, _ := stB.CreateSink(31)
+	localSink, _ := stA.CreateSink(31)
+	waitSubscribed(t, w.a, 31, 1)
+	src, _ := stA.CreateSource(31)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		sendOn(t, src, []byte{byte(i)})
+	}
+	for i := 0; i < n; i++ {
+		d, err := sink.Consume(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink.Release(d)
+		dl, err := localSink.Consume(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		localSink.Release(dl)
+	}
+	sa, sb := w.a.Stats(), w.b.Stats()
+	if sa.TxMessages != n {
+		t.Errorf("A TxMessages = %d, want %d", sa.TxMessages, n)
+	}
+	if sa.LocalDeliveries != n {
+		t.Errorf("A LocalDeliveries = %d, want %d", sa.LocalDeliveries, n)
+	}
+	if sb.RxMessages != n {
+		t.Errorf("B RxMessages = %d, want %d", sb.RxMessages, n)
+	}
+	if ep, ok := sb.Endpoint[model.TechKernelUDP]; !ok || ep.RxPackets < n {
+		t.Errorf("B endpoint stats missing: %+v", sb.Endpoint)
+	}
+}
+
+// TestMultiPollerPerPlugin runs two polling threads per plugin (§8's
+// receive-side parallelism) and checks ordering-insensitive delivery of a
+// concurrent workload.
+func TestMultiPollerPerPlugin(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{DPDK: true}, datapath.Caps{DPDK: true}, func(c *Config) {
+		c.PollersPerPlugin = 2
+	})
+	if got := len(w.a.pollers); got != 4 { // 2 plugins x 2 pollers
+		t.Fatalf("pollers = %d, want 4", got)
+	}
+	connA, _ := w.a.Connect()
+	connB, _ := w.b.Connect()
+	stA, _ := connA.OpenStream(qos.Options{Datapath: qos.DatapathFast})
+	stB, _ := connB.OpenStream(qos.Options{Datapath: qos.DatapathFast})
+	sink, _ := stB.CreateSink(41)
+	waitSubscribed(t, w.a, 41, 1)
+	src, _ := stA.CreateSource(41)
+
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			b, err := src.GetBuffer(4)
+			if err != nil {
+				return
+			}
+			b.Payload[0] = byte(i)
+			for {
+				if _, err := src.Emit(b, 4); err != ErrBackpressure {
+					break
+				}
+				time.Sleep(5 * time.Microsecond)
+			}
+		}
+	}()
+	seen := make(map[byte]bool, n)
+	for i := 0; i < n; i++ {
+		d, err := sink.Consume(5 * time.Second)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		seen[d.Payload[0]] = true
+		sink.Release(d)
+	}
+	if len(seen) != n {
+		t.Errorf("distinct messages = %d, want %d", len(seen), n)
+	}
+}
+
+// TestPortFailureSurfacesInOutcome kills the peer-facing NIC port under
+// the sender and checks the failure shows up in the emit outcome instead
+// of being swallowed.
+func TestPortFailureSurfacesInOutcome(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, nil)
+	connA, _ := w.a.Connect()
+	connB, _ := w.b.Connect()
+	stA, _ := connA.OpenStream(qos.Options{})
+	stB, _ := connB.OpenStream(qos.Options{})
+	_, err := stB.CreateSink(61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSubscribed(t, w.a, 61, 1)
+	src, _ := stA.CreateSource(61)
+
+	// Kill A's kernel port: the "NIC died" failure mode.
+	w.a.cfg.Ports[model.TechKernelUDP].Close()
+
+	seq := sendOn(t, src, []byte("doomed"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if o, ok := src.Outcome(seq); ok {
+			if o.Err == nil || o.RemotePeers != 0 {
+				t.Fatalf("outcome = %+v, want send error and zero peers", o)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("outcome never recorded after port failure")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestInspectReportsState smoke-tests the operator view.
+func TestInspectReportsState(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{DPDK: true}, datapath.Caps{}, nil)
+	conn, _ := w.a.Connect()
+	st, _ := conn.OpenStream(qos.Options{})
+	st.CreateSink(71)
+	out := w.a.Inspect()
+	for _, want := range []string{"runtime \"nodeA\"", "kernel-udp", "dpdk", "sessions: 1", "channel 71", "memory pools"} {
+		if !wantSubstring(out, want) {
+			t.Errorf("Inspect missing %q in:\n%s", want, out)
+		}
+	}
+	// The peer learned the subscription and reports it.
+	waitSubscribed(t, w.b, 0, 0) // no-op warmup
+	deadline := time.Now().Add(2 * time.Second)
+	for !wantSubstring(w.b.Inspect(), "remote subscribers nodeA") {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer Inspect missing remote subscription:\n%s", w.b.Inspect())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,161 @@
+// Package dpdk implements the DPDK datapath plugin: the "fast path" of
+// INSANE (§5.2: DPDK is chosen when acceleration is requested and resource
+// usage is not a concern).
+//
+// The plugin models a poll-mode driver on a kernel-bypassed NIC: the
+// runtime's polling thread is the lcore, packets are moved in bursts
+// (rte_eth_tx_burst/rx_burst semantics), memory comes from the runtime's
+// registered pools, and there are no kernel crossings. Packets on this
+// path are *framed*: the runtime's packet processing engine builds the
+// Ethernet/IPv4/UDP headers into the slot headroom, so the plugin DMAs the
+// frame straight from application memory (zero-copy, Table 1).
+package dpdk
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/netstack"
+)
+
+// Plugin creates DPDK endpoints on hosts whose NIC exposes a PMD.
+type Plugin struct{}
+
+var _ datapath.Plugin = Plugin{}
+
+// Tech returns model.TechDPDK.
+func (Plugin) Tech() model.Tech { return model.TechDPDK }
+
+// Info returns the Table 1 record for DPDK.
+func (Plugin) Info() model.TechInfo { return model.Info(model.TechDPDK) }
+
+// Available reports whether the host has DPDK support.
+func (Plugin) Available(caps datapath.Caps) bool { return caps.DPDK }
+
+// Open takes over the NIC port in poll mode.
+func (Plugin) Open(cfg datapath.Config) (datapath.Endpoint, error) {
+	if cfg.Port == nil || cfg.Alloc == nil {
+		return nil, fmt.Errorf("dpdk: incomplete config")
+	}
+	return &endpoint{cfg: cfg, costs: model.DPDK()}, nil
+}
+
+// endpoint models one PMD-driven port. Not safe for concurrent use: one
+// lcore (polling thread) owns it, as in DPDK's run-to-completion model.
+type endpoint struct {
+	cfg    datapath.Config
+	costs  model.TechCosts
+	closed atomic.Bool
+
+	txPackets, rxPackets atomic.Uint64
+	txBytes, rxBytes     atomic.Uint64
+	drops                atomic.Uint64
+	emptyPolls           atomic.Uint64
+}
+
+// Tech returns model.TechDPDK.
+func (e *endpoint) Tech() model.Tech { return model.TechDPDK }
+
+// MTU returns the maximum message payload (jumbo frames enabled, §6.2).
+func (e *endpoint) MTU() int { return netstack.MaxPayload(e.cfg.Port.MTU()) }
+
+// Stats returns a snapshot of the endpoint counters.
+func (e *endpoint) Stats() datapath.Stats {
+	return datapath.Stats{
+		TxPackets:  e.txPackets.Load(),
+		RxPackets:  e.rxPackets.Load(),
+		TxBytes:    e.txBytes.Load(),
+		RxBytes:    e.rxBytes.Load(),
+		Drops:      e.drops.Load(),
+		EmptyPolls: e.emptyPolls.Load(),
+	}
+}
+
+// Send transmits a burst of framed packets (tx_burst). The per-burst
+// doorbell cost amortizes over the burst — INSANE's opportunistic batching
+// leans on exactly this property (§6.2).
+func (e *endpoint) Send(pkts []*datapath.Packet, _ netstack.Endpoint) (int, error) {
+	if e.closed.Load() {
+		return 0, datapath.ErrClosed
+	}
+	burst := len(pkts)
+	for i, p := range pkts {
+		if !p.Framed {
+			return i, fmt.Errorf("dpdk: unframed packet; the packet processing engine must encode first")
+		}
+		tb := e.cfg.Testbed
+		payload := p.Len - netstack.HeadersLen
+		p.Charge(e.costs.TxDriver, payload, burst, tb)
+		p.Charge(e.costs.TxComplete, payload, burst, tb)
+		p.Charge(e.costs.NICTx, payload, burst, tb)
+		if err := e.cfg.Port.Transmit(p.Bytes(), p.VTime, p.Breakdown); err != nil {
+			return i, fmt.Errorf("dpdk: %w", err)
+		}
+		e.txPackets.Add(1)
+		e.txBytes.Add(uint64(p.Len))
+	}
+	return len(pkts), nil
+}
+
+// Poll busy-polls the RX ring (rx_burst): frames are returned still framed
+// for the packet processing engine, in memory-pool slots where the NIC
+// "DMAed" them.
+func (e *endpoint) Poll(max int) ([]*datapath.Packet, error) {
+	if e.closed.Load() {
+		return nil, datapath.ErrClosed
+	}
+	if max > e.cfg.EffectiveBurst() {
+		max = e.cfg.EffectiveBurst()
+	}
+	var out []*datapath.Packet
+	for len(out) < max {
+		frame, ok := e.cfg.Port.TryRecv()
+		if !ok {
+			break
+		}
+		slot, buf, err := e.cfg.Alloc(len(frame.Data))
+		if err != nil {
+			e.drops.Add(1)
+			continue
+		}
+		copy(buf, frame.Data) // stands in for NIC DMA into the mempool
+		out = append(out, &datapath.Packet{
+			Slot:      slot,
+			Buf:       buf,
+			Off:       0,
+			Len:       len(frame.Data),
+			Framed:    true,
+			VTime:     frame.VTime,
+			Breakdown: frame.Breakdown,
+		})
+	}
+	burst := len(out)
+	for _, p := range out {
+		payload := p.Len - netstack.HeadersLen
+		p.Charge(e.costs.NICRx, payload, burst, e.cfg.Testbed)
+		p.Charge(e.costs.RxPoll, payload, burst, e.cfg.Testbed)
+		e.rxPackets.Add(1)
+		e.rxBytes.Add(uint64(p.Len))
+	}
+	if burst == 0 {
+		e.emptyPolls.Add(1) // busy-poll burn: DPDK's CPU cost (Table 1)
+	}
+	return out, nil
+}
+
+// WaitRecv returns immediately: a PMD never blocks, it spins.
+func (e *endpoint) WaitRecv(time.Duration) error {
+	if e.closed.Load() {
+		return datapath.ErrClosed
+	}
+	return nil
+}
+
+// Close releases the port back from poll mode.
+func (e *endpoint) Close() error {
+	e.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,226 @@
+// Package kernel implements the kernel UDP/IP datapath plugin: the
+// baseline "slow path" of INSANE (§5.2: "if no acceleration is required,
+// the kernel-based UDP protocol is always used").
+//
+// The plugin stands in for AF_INET sockets over the OS stack. Frames are
+// built and parsed by this plugin itself — modeling the kernel's protocol
+// processing — and every packet is charged the calibrated syscall, stack
+// and copy costs of the kernel path (internal/model). Payloads are copied
+// at both ends because the kernel path is not zero-copy (Table 1).
+package kernel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/fabric"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/netstack"
+)
+
+// Plugin creates kernel UDP endpoints. Kernel networking is available on
+// every host.
+type Plugin struct{}
+
+var _ datapath.Plugin = Plugin{}
+
+// Tech returns model.TechKernelUDP.
+func (Plugin) Tech() model.Tech { return model.TechKernelUDP }
+
+// Info returns the Table 1 record for kernel UDP.
+func (Plugin) Info() model.TechInfo { return model.Info(model.TechKernelUDP) }
+
+// Available always reports true: every host has a kernel stack.
+func (Plugin) Available(datapath.Caps) bool { return true }
+
+// Open creates a socket-like endpoint bound to cfg.Local.
+func (Plugin) Open(cfg datapath.Config) (datapath.Endpoint, error) {
+	if cfg.Port == nil || cfg.Resolver == nil || cfg.Alloc == nil {
+		return nil, fmt.Errorf("kernel: incomplete config")
+	}
+	return &endpoint{
+		cfg:     cfg,
+		costs:   model.KernelUDP(),
+		scratch: make([]byte, netstack.HeadersLen+netstack.MaxPayload(cfg.Port.MTU())),
+	}, nil
+}
+
+// endpoint is a simulated AF_INET UDP socket. It is not safe for
+// concurrent use: the runtime serializes access from one polling thread,
+// matching how the C prototype binds each datapath to a thread (§5.3).
+type endpoint struct {
+	cfg     datapath.Config
+	costs   model.TechCosts
+	scratch []byte
+	// pending holds packets already consumed by WaitRecv, returned by
+	// the next Poll.
+	pending []*datapath.Packet
+	closed  atomic.Bool
+	stats   statCounters
+}
+
+type statCounters struct {
+	txPackets, rxPackets atomic.Uint64
+	txBytes, rxBytes     atomic.Uint64
+	drops                atomic.Uint64
+	emptyPolls           atomic.Uint64
+}
+
+func (s *statCounters) snapshot() datapath.Stats {
+	return datapath.Stats{
+		TxPackets:  s.txPackets.Load(),
+		RxPackets:  s.rxPackets.Load(),
+		TxBytes:    s.txBytes.Load(),
+		RxBytes:    s.rxBytes.Load(),
+		Drops:      s.drops.Load(),
+		EmptyPolls: s.emptyPolls.Load(),
+	}
+}
+
+// Tech returns model.TechKernelUDP.
+func (e *endpoint) Tech() model.Tech { return model.TechKernelUDP }
+
+// MTU returns the maximum message the socket accepts (no fragmentation).
+func (e *endpoint) MTU() int { return netstack.MaxPayload(e.cfg.Port.MTU()) }
+
+// Stats returns a snapshot of the endpoint counters.
+func (e *endpoint) Stats() datapath.Stats { return e.stats.snapshot() }
+
+// Send copies each message through the simulated kernel stack and
+// transmits it. Kernel sockets have no burst interface, so costs never
+// amortize (burst = 1).
+func (e *endpoint) Send(pkts []*datapath.Packet, dst netstack.Endpoint) (int, error) {
+	if e.closed.Load() {
+		return 0, datapath.ErrClosed
+	}
+	dstMAC, err := e.cfg.Resolver.Resolve(dst.IP)
+	if err != nil {
+		return 0, fmt.Errorf("kernel: %w", err)
+	}
+	for i, p := range pkts {
+		if p.Framed {
+			return i, fmt.Errorf("kernel: framed packet on kernel path")
+		}
+		if p.Len > e.MTU() {
+			return i, fmt.Errorf("%w: %d > %d", datapath.ErrTooLarge, p.Len, e.MTU())
+		}
+		tb := e.cfg.Testbed
+		p.Charge(e.costs.TxSyscall, p.Len, 1, tb)
+		p.Charge(e.costs.TxStack, p.Len, 1, tb) // includes the user→kernel copy
+		p.Charge(e.costs.NICTx, p.Len, 1, tb)
+
+		// The "kernel" builds the frame in its own buffer: a real copy,
+		// as on the non-zero-copy kernel path.
+		copy(e.scratch[netstack.HeadersLen:], p.Bytes())
+		meta := netstack.FrameMeta{
+			SrcMAC: e.cfg.Port.MAC(),
+			DstMAC: dstMAC,
+			Src:    e.cfg.Local,
+			Dst:    dst,
+		}
+		n, err := netstack.EncodeUDP(e.scratch, meta, p.Len, e.cfg.Port.MTU())
+		if err != nil {
+			return i, fmt.Errorf("kernel: %w", err)
+		}
+		if err := e.cfg.Port.Transmit(e.scratch[:n], p.VTime, p.Breakdown); err != nil {
+			return i, fmt.Errorf("kernel: %w", err)
+		}
+		e.stats.txPackets.Add(1)
+		e.stats.txBytes.Add(uint64(p.Len))
+	}
+	return len(pkts), nil
+}
+
+// Poll receives up to max datagrams without blocking.
+func (e *endpoint) Poll(max int) ([]*datapath.Packet, error) {
+	if e.closed.Load() {
+		return nil, datapath.ErrClosed
+	}
+	var out []*datapath.Packet
+	for len(e.pending) > 0 && len(out) < max {
+		out = append(out, e.pending[0])
+		e.pending = e.pending[1:]
+	}
+	for len(out) < max {
+		frame, ok := e.cfg.Port.TryRecv()
+		if !ok {
+			break
+		}
+		if p := e.receive(frame); p != nil {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		e.stats.emptyPolls.Add(1)
+	}
+	return out, nil
+}
+
+// WaitRecv blocks until a datagram is queued (blocking-socket semantics).
+// The received frame is processed on the next Poll: the port queue keeps
+// it; here we only wait for availability.
+func (e *endpoint) WaitRecv(timeout time.Duration) error {
+	if e.closed.Load() {
+		return datapath.ErrClosed
+	}
+	if !e.cfg.Blocking {
+		return nil
+	}
+	frame, err := e.cfg.Port.Recv(timeout)
+	if err != nil {
+		return err
+	}
+	// Hand the frame straight through the receive path and keep it for
+	// the next Poll.
+	if p := e.receive(frame); p != nil {
+		e.pending = append(e.pending, p)
+	}
+	return nil
+}
+
+// receive runs one frame through the simulated kernel receive path.
+func (e *endpoint) receive(frame fabric.Frame) *datapath.Packet {
+	meta, payload, err := netstack.DecodeUDP(frame.Data)
+	if err != nil || meta.Dst.Port != e.cfg.Local.Port {
+		e.stats.drops.Add(1)
+		return nil
+	}
+	slot, buf, err := e.cfg.Alloc(datapath.Headroom + len(payload))
+	if err != nil {
+		e.stats.drops.Add(1)
+		return nil
+	}
+	copy(buf[datapath.Headroom:], payload) // kernel→user copy
+	p := &datapath.Packet{
+		Slot:      slot,
+		Buf:       buf,
+		Off:       datapath.Headroom,
+		Len:       len(payload),
+		Src:       meta.Src,
+		Dst:       meta.Dst,
+		VTime:     frame.VTime,
+		Breakdown: frame.Breakdown,
+	}
+	tb := e.cfg.Testbed
+	p.Charge(e.costs.NICRx, p.Len, 1, tb)
+	p.Charge(e.costs.RxWait, p.Len, 1, tb)
+	p.Charge(e.costs.RxStack, p.Len, 1, tb) // kernel→user copy cost
+	p.Charge(e.costs.RxPoll, p.Len, 1, tb)
+	if e.cfg.Blocking {
+		p.Charge(model.Component{
+			Name: "rx-wakeup", Category: model.CatRecv,
+			Class: model.ScaleKernel, LatencyOnly: model.BlockingWakeup(),
+		}, p.Len, 1, tb)
+	}
+	e.stats.rxPackets.Add(1)
+	e.stats.rxBytes.Add(uint64(p.Len))
+	return p
+}
+
+// Close marks the endpoint closed.
+func (e *endpoint) Close() error {
+	e.closed.Store(true)
+	return nil
+}

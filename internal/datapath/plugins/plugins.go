@@ -1,0 +1,46 @@
+// Package plugins wires up the built-in datapath plugin set, giving the
+// runtime (and tests) a single place to look up plugins by technology.
+package plugins
+
+import (
+	"fmt"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/datapath/dpdk"
+	"github.com/insane-mw/insane/internal/datapath/kernel"
+	"github.com/insane-mw/insane/internal/datapath/rdma"
+	"github.com/insane-mw/insane/internal/datapath/xdp"
+	"github.com/insane-mw/insane/internal/model"
+)
+
+// All returns the built-in plugins in Table 1 order.
+func All() []datapath.Plugin {
+	return []datapath.Plugin{
+		kernel.Plugin{},
+		xdp.Plugin{},
+		dpdk.Plugin{},
+		rdma.Plugin{},
+	}
+}
+
+// ByTech returns the plugin implementing the given technology.
+func ByTech(t model.Tech) (datapath.Plugin, error) {
+	for _, p := range All() {
+		if p.Tech() == t {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("plugins: no plugin for %v", t)
+}
+
+// Available returns the plugins usable under the host capabilities,
+// kernel first.
+func Available(caps datapath.Caps) []datapath.Plugin {
+	var out []datapath.Plugin
+	for _, p := range All() {
+		if p.Available(caps) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

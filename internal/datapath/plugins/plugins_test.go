@@ -1,0 +1,502 @@
+// Package plugins_test exercises every datapath plugin end to end over the
+// virtual fabric: two hosts, one endpoint each, messages flowing both ways
+// with correct payloads, demultiplexing, cost accounting and statistics.
+package plugins_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/datapath/plugins"
+	"github.com/insane-mw/insane/internal/datapath/rdma"
+	"github.com/insane-mw/insane/internal/fabric"
+	"github.com/insane-mw/insane/internal/mempool"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/netstack"
+)
+
+// rig is a two-host test fixture with one open endpoint per side.
+type rig struct {
+	mmA, mmB *mempool.Manager
+	a, b     datapath.Endpoint
+	epA, epB netstack.Endpoint
+}
+
+func newRig(t *testing.T, tech model.Tech, blocking bool) *rig {
+	t.Helper()
+	net := fabric.New(7)
+	ipA, ipB := netstack.IPv4{10, 0, 0, 1}, netstack.IPv4{10, 0, 0, 2}
+	portA, err := net.AddHost("a", ipA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	portB, err := net.AddHost("b", ipB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectDirect(portA, portB, fabric.DefaultLink); err != nil {
+		t.Fatal(err)
+	}
+	mmA, err := mempool.NewManager(mempool.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmB, err := mempool.NewManager(mempool.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plugin, err := plugins.ByTech(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epA := netstack.Endpoint{IP: ipA, Port: 7000}
+	epB := netstack.Endpoint{IP: ipB, Port: 7000}
+	open := func(port *fabric.Port, mm *mempool.Manager, local netstack.Endpoint) datapath.Endpoint {
+		ep, err := plugin.Open(datapath.Config{
+			Port:     port,
+			Resolver: net.Resolver(),
+			Local:    local,
+			Alloc: func(size int) (mempool.SlotID, []byte, error) {
+				return mm.Get(size, mempool.NoOwner)
+			},
+			Testbed:  model.Local,
+			Blocking: blocking,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ep
+	}
+	r := &rig{
+		mmA: mmA, mmB: mmB,
+		a: open(portA, mmA, epA), b: open(portB, mmB, epB),
+		epA: epA, epB: epB,
+	}
+	t.Cleanup(func() { r.a.Close(); r.b.Close() })
+	return r
+}
+
+// makePacket builds an unframed message packet in a fresh buffer.
+func makePacket(payload []byte) *datapath.Packet {
+	buf := make([]byte, datapath.Headroom+len(payload))
+	copy(buf[datapath.Headroom:], payload)
+	return &datapath.Packet{
+		Buf: buf, Off: datapath.Headroom, Len: len(payload),
+	}
+}
+
+// frame builds a framed packet for the DPDK/XDP paths, emulating the
+// runtime's packet processing engine.
+func frame(t *testing.T, payload []byte, src, dst netstack.Endpoint, srcMAC, dstMAC netstack.MAC) *datapath.Packet {
+	t.Helper()
+	buf := make([]byte, netstack.HeadersLen+len(payload))
+	copy(buf[netstack.HeadersLen:], payload)
+	n, err := netstack.EncodeUDP(buf, netstack.FrameMeta{
+		SrcMAC: srcMAC, DstMAC: dstMAC, Src: src, Dst: dst,
+	}, len(payload), netstack.JumboMTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &datapath.Packet{Buf: buf, Off: 0, Len: n, Framed: true}
+}
+
+// pollOne spins until the endpoint returns one packet or times out.
+func pollOne(t *testing.T, ep datapath.Endpoint) *datapath.Packet {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		pkts, err := ep.Poll(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkts) > 0 {
+			return pkts[0]
+		}
+	}
+	t.Fatal("no packet received before deadline")
+	return nil
+}
+
+func TestKernelRoundTrip(t *testing.T) {
+	r := newRig(t, model.TechKernelUDP, false)
+	msg := []byte("kernel path message")
+	if n, err := r.a.Send([]*datapath.Packet{makePacket(msg)}, r.epB); err != nil || n != 1 {
+		t.Fatalf("Send = %d,%v", n, err)
+	}
+	got := pollOne(t, r.b)
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Errorf("payload = %q, want %q", got.Bytes(), msg)
+	}
+	if got.Src != r.epA || got.Dst != r.epB {
+		t.Errorf("addressing = %v→%v, want %v→%v", got.Src, got.Dst, r.epA, r.epB)
+	}
+	// Kernel path must charge µs-scale one-way latency (≈6.3 µs at 64B).
+	oneWay := got.VTime.Duration()
+	if oneWay < 5*time.Microsecond || oneWay > 8*time.Microsecond {
+		t.Errorf("kernel one-way vtime = %v, want ≈6.3µs", oneWay)
+	}
+	if got.Breakdown.Total() != oneWay {
+		t.Errorf("breakdown total %v != vtime %v", got.Breakdown.Total(), oneWay)
+	}
+}
+
+func TestKernelBlockingChargesWakeup(t *testing.T) {
+	nb := newRig(t, model.TechKernelUDP, false)
+	bl := newRig(t, model.TechKernelUDP, true)
+	msg := []byte{1, 2, 3, 4}
+	if _, err := nb.a.Send([]*datapath.Packet{makePacket(msg)}, nb.epB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bl.a.Send([]*datapath.Packet{makePacket(msg)}, bl.epB); err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.b.WaitRecv(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fast := pollOne(t, nb.b).VTime
+	slow := pollOne(t, bl.b).VTime
+	if delta := slow.Sub(fast); delta != model.BlockingWakeup() {
+		t.Errorf("blocking wakeup delta = %v, want %v", delta, model.BlockingWakeup())
+	}
+}
+
+func TestKernelRejectsOversizedAndFramed(t *testing.T) {
+	r := newRig(t, model.TechKernelUDP, false)
+	big := makePacket(make([]byte, r.a.MTU()+1))
+	big.Buf = make([]byte, datapath.Headroom+r.a.MTU()+1)
+	if _, err := r.a.Send([]*datapath.Packet{big}, r.epB); !errors.Is(err, datapath.ErrTooLarge) {
+		t.Errorf("oversize err = %v, want ErrTooLarge", err)
+	}
+	fp := makePacket([]byte("x"))
+	fp.Framed = true
+	if _, err := r.a.Send([]*datapath.Packet{fp}, r.epB); err == nil {
+		t.Error("framed packet accepted on kernel path")
+	}
+}
+
+func TestDPDKRoundTripFramed(t *testing.T) {
+	r := newRig(t, model.TechDPDK, false)
+	msg := []byte("dpdk burst message")
+	// Discover MACs through a resolver-independent route: send via the
+	// plugin requires pre-framed packets, built as the engine would.
+	f := frameFor(t, r, msg)
+	if n, err := r.a.Send([]*datapath.Packet{f}, r.epB); err != nil || n != 1 {
+		t.Fatalf("Send = %d,%v", n, err)
+	}
+	got := pollOne(t, r.b)
+	if !got.Framed {
+		t.Fatal("DPDK must deliver framed packets")
+	}
+	meta, payload, err := netstack.DecodeUDP(got.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, msg) {
+		t.Errorf("payload = %q, want %q", payload, msg)
+	}
+	if meta.Src != r.epA || meta.Dst != r.epB {
+		t.Errorf("addressing = %v→%v", meta.Src, meta.Dst)
+	}
+	// DPDK one-way ≈ 1.2-1.5 µs for the plugin-charged parts (no runtime).
+	oneWay := got.VTime.Duration()
+	if oneWay < 800*time.Nanosecond || oneWay > 2500*time.Nanosecond {
+		t.Errorf("dpdk one-way vtime = %v, want ≈1.7µs", oneWay)
+	}
+	if r.b.Stats().RxPackets != 1 || r.a.Stats().TxPackets != 1 {
+		t.Error("stats not counted")
+	}
+}
+
+// frameFor builds a frame from rig A to rig B using the fabric MACs the
+// resolver knows.
+func frameFor(t *testing.T, r *rig, payload []byte) *datapath.Packet {
+	t.Helper()
+	// The rig's resolver is inside the endpoints; rebuild MACs from the
+	// deterministic fabric numbering (host 1 = :01, host 2 = :02).
+	srcMAC := netstack.MAC{0x02, 0, 0, 0, 0, 1}
+	dstMAC := netstack.MAC{0x02, 0, 0, 0, 0, 2}
+	return frame(t, payload, r.epA, r.epB, srcMAC, dstMAC)
+}
+
+func TestDPDKRejectsUnframed(t *testing.T) {
+	r := newRig(t, model.TechDPDK, false)
+	if _, err := r.a.Send([]*datapath.Packet{makePacket([]byte("x"))}, r.epB); err == nil {
+		t.Error("unframed packet accepted on DPDK path")
+	}
+}
+
+func TestDPDKBurstAmortizesDoorbell(t *testing.T) {
+	single := newRig(t, model.TechDPDK, false)
+	burst := newRig(t, model.TechDPDK, false)
+	msg := make([]byte, 64)
+
+	if _, err := single.a.Send([]*datapath.Packet{frameFor(t, single, msg)}, single.epB); err != nil {
+		t.Fatal(err)
+	}
+	soloVT := pollOne(t, single.b).VTime
+
+	pkts := make([]*datapath.Packet, 16)
+	for i := range pkts {
+		pkts[i] = frameFor(t, burst, msg)
+	}
+	if n, err := burst.a.Send(pkts, burst.epB); err != nil || n != 16 {
+		t.Fatalf("burst send = %d,%v", n, err)
+	}
+	// Drain the whole burst; per-packet charged time must be lower than
+	// the single-packet case thanks to doorbell amortization.
+	var got []*datapath.Packet
+	deadline := time.Now().Add(2 * time.Second)
+	for len(got) < 16 && time.Now().Before(deadline) {
+		ps, err := burst.b.Poll(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ps...)
+	}
+	if len(got) != 16 {
+		t.Fatalf("received %d of 16", len(got))
+	}
+	if got[0].VTime >= soloVT {
+		t.Errorf("burst packet vtime %v not below single-packet %v", got[0].VTime, soloVT)
+	}
+}
+
+func TestXDPRoundTrip(t *testing.T) {
+	r := newRig(t, model.TechXDP, false)
+	msg := []byte("xdp umem message")
+	if _, err := r.a.Send([]*datapath.Packet{frameFor(t, r, msg)}, r.epB); err != nil {
+		t.Fatal(err)
+	}
+	got := pollOne(t, r.b)
+	_, payload, err := netstack.DecodeUDP(got.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, msg) {
+		t.Errorf("payload = %q, want %q", payload, msg)
+	}
+	// XDP sits between DPDK (~1.7µs) and kernel (~6.3µs) one-way.
+	oneWay := got.VTime.Duration()
+	if oneWay < 1700*time.Nanosecond || oneWay > 5*time.Microsecond {
+		t.Errorf("xdp one-way vtime = %v, want between DPDK and kernel", oneWay)
+	}
+}
+
+func TestRDMARoundTrip(t *testing.T) {
+	r := newRig(t, model.TechRDMA, false)
+	msg := []byte("rdma two-sided send")
+	if _, err := r.a.Send([]*datapath.Packet{makePacket(msg)}, r.epB); err != nil {
+		t.Fatal(err)
+	}
+	got := pollOne(t, r.b)
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Errorf("payload = %q, want %q", got.Bytes(), msg)
+	}
+	// RDMA one-way ≈ 1.46 µs: fastest of all technologies.
+	oneWay := got.VTime.Duration()
+	if oneWay < 1200*time.Nanosecond || oneWay > 1800*time.Nanosecond {
+		t.Errorf("rdma one-way vtime = %v, want ≈1.46µs", oneWay)
+	}
+}
+
+func TestRDMARejectsFramed(t *testing.T) {
+	r := newRig(t, model.TechRDMA, false)
+	f := frameFor(t, r, []byte("x"))
+	if _, err := r.a.Send([]*datapath.Packet{f}, r.epB); err == nil {
+		t.Error("framed packet accepted on RDMA path")
+	}
+}
+
+// TestRDMAReceiverNotReady drops messages beyond the posted receive depth
+// within one completion poll.
+func TestRDMAReceiverNotReady(t *testing.T) {
+	net := fabric.New(7)
+	ipA, ipB := netstack.IPv4{10, 0, 0, 1}, netstack.IPv4{10, 0, 0, 2}
+	portA, _ := net.AddHost("a", ipA)
+	portB, _ := net.AddHost("b", ipB)
+	if err := net.ConnectDirect(portA, portB, fabric.DefaultLink); err != nil {
+		t.Fatal(err)
+	}
+	mm, _ := mempool.NewManager(mempool.Config{})
+	alloc := func(size int) (mempool.SlotID, []byte, error) { return mm.Get(size, mempool.NoOwner) }
+	plugin := rdma.Plugin{RecvDepth: 4}
+	a, err := plugin.Open(datapath.Config{
+		Port: portA, Resolver: net.Resolver(),
+		Local: netstack.Endpoint{IP: ipA, Port: 9}, Alloc: alloc, Testbed: model.Local,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plugin.Open(datapath.Config{
+		Port: portB, Resolver: net.Resolver(),
+		Local: netstack.Endpoint{IP: ipB, Port: 9}, Alloc: alloc, Testbed: model.Local,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := a.Send([]*datapath.Packet{makePacket([]byte{byte(i)})}, netstack.Endpoint{IP: ipB, Port: 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	pkts, err := b.Poll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 4 {
+		t.Fatalf("reaped %d completions, want 4 (depth)", len(pkts))
+	}
+	rn := b.(interface{ RNRDrops() uint64 }).RNRDrops()
+	if rn != 6 {
+		t.Errorf("RNR drops = %d, want 6", rn)
+	}
+}
+
+func TestClosedEndpointErrors(t *testing.T) {
+	for _, tech := range []model.Tech{model.TechKernelUDP, model.TechDPDK, model.TechXDP, model.TechRDMA} {
+		t.Run(tech.String(), func(t *testing.T) {
+			r := newRig(t, tech, false)
+			if err := r.a.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.a.Send(nil, r.epB); !errors.Is(err, datapath.ErrClosed) {
+				t.Errorf("Send on closed = %v", err)
+			}
+			if _, err := r.a.Poll(1); !errors.Is(err, datapath.ErrClosed) {
+				t.Errorf("Poll on closed = %v", err)
+			}
+			if err := r.a.WaitRecv(time.Millisecond); !errors.Is(err, datapath.ErrClosed) {
+				t.Errorf("WaitRecv on closed = %v", err)
+			}
+		})
+	}
+}
+
+func TestDemuxDropsForeignPort(t *testing.T) {
+	r := newRig(t, model.TechKernelUDP, false)
+	wrongDst := netstack.Endpoint{IP: r.epB.IP, Port: 9999}
+	if _, err := r.a.Send([]*datapath.Packet{makePacket([]byte("x"))}, wrongDst); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	pkts, err := r.b.Poll(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 0 {
+		t.Errorf("received %d packets for a foreign port", len(pkts))
+	}
+	if r.b.Stats().Drops == 0 {
+		t.Error("demux miss not counted as drop")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if got := len(plugins.All()); got != 4 {
+		t.Fatalf("All() = %d plugins, want 4", got)
+	}
+	if _, err := plugins.ByTech(model.Tech(99)); err == nil {
+		t.Error("ByTech(unknown): want error")
+	}
+	caps := datapath.Caps{DPDK: true}
+	avail := plugins.Available(caps)
+	if len(avail) != 2 {
+		t.Fatalf("Available = %d plugins, want 2 (kernel+dpdk)", len(avail))
+	}
+	if avail[0].Tech() != model.TechKernelUDP || avail[1].Tech() != model.TechDPDK {
+		t.Errorf("Available order/content wrong: %v, %v", avail[0].Tech(), avail[1].Tech())
+	}
+	// Caps helpers.
+	if !caps.Has(model.TechKernelUDP) || !caps.Has(model.TechDPDK) || caps.Has(model.TechRDMA) {
+		t.Error("Caps.Has wrong")
+	}
+	full := datapath.Caps{DPDK: true, XDP: true, RDMA: true}
+	if got := len(full.List()); got != 4 {
+		t.Errorf("full caps list = %d, want 4", got)
+	}
+	for _, p := range plugins.All() {
+		if p.Info().Tech != p.Tech() {
+			t.Errorf("%v: Info().Tech mismatch", p.Tech())
+		}
+	}
+}
+
+func TestTechLatencyOrderingEndToEnd(t *testing.T) {
+	oneWay := func(tech model.Tech) time.Duration {
+		r := newRig(t, tech, false)
+		var pkt *datapath.Packet
+		if tech == model.TechDPDK || tech == model.TechXDP {
+			pkt = frameFor(t, r, make([]byte, 64))
+		} else {
+			pkt = makePacket(make([]byte, 64))
+		}
+		if _, err := r.a.Send([]*datapath.Packet{pkt}, r.epB); err != nil {
+			t.Fatal(err)
+		}
+		return pollOne(t, r.b).VTime.Duration()
+	}
+	rdmaT := oneWay(model.TechRDMA)
+	dpdkT := oneWay(model.TechDPDK)
+	xdpT := oneWay(model.TechXDP)
+	kernT := oneWay(model.TechKernelUDP)
+	if !(rdmaT < dpdkT && dpdkT < xdpT && xdpT < kernT) {
+		t.Errorf("ordering: rdma=%v dpdk=%v xdp=%v kernel=%v", rdmaT, dpdkT, xdpT, kernT)
+	}
+}
+
+// TestXDPBlockingWaitRecv exercises AF_XDP's poll(2)-style blocking wait:
+// the frame consumed during the wait must surface in the next Poll.
+func TestXDPBlockingWaitRecv(t *testing.T) {
+	r := newRig(t, model.TechXDP, true)
+	msg := []byte("xdp blocking")
+	if _, err := r.a.Send([]*datapath.Packet{frameFor(t, r, msg)}, r.epB); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.b.WaitRecv(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := r.b.Poll(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 {
+		t.Fatalf("polled %d packets after blocking wait, want 1", len(pkts))
+	}
+	_, payload, err := netstack.DecodeUDP(pkts[0].Bytes())
+	if err != nil || !bytes.Equal(payload, msg) {
+		t.Errorf("payload = %q, %v", payload, err)
+	}
+}
+
+// TestNonBlockingWaitRecvIsNoop: with Blocking unset, WaitRecv must not
+// consume anything.
+func TestNonBlockingWaitRecvIsNoop(t *testing.T) {
+	r := newRig(t, model.TechKernelUDP, false)
+	if _, err := r.a.Send([]*datapath.Packet{makePacket([]byte("x"))}, r.epB); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.b.WaitRecv(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := pollOne(t, r.b); string(got.Bytes()) != "x" {
+		t.Errorf("payload = %q", got.Bytes())
+	}
+}
+
+// TestSendToUnresolvableIP: destinations outside the static ARP table
+// must fail cleanly on address-carrying plugins.
+func TestSendToUnresolvableIP(t *testing.T) {
+	for _, tech := range []model.Tech{model.TechKernelUDP, model.TechRDMA} {
+		t.Run(tech.String(), func(t *testing.T) {
+			r := newRig(t, tech, false)
+			ghost := netstack.Endpoint{IP: netstack.IPv4{203, 0, 113, 9}, Port: 1}
+			if _, err := r.a.Send([]*datapath.Packet{makePacket([]byte("x"))}, ghost); err == nil {
+				t.Error("send to unresolvable IP succeeded")
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package apps
+
+// The INSANE version of the benchmarking application (Table 3 row
+// "INSANE"): the whole networking logic is a stream with a QoS hint, a
+// source/sink pair per direction, and borrow/emit/consume/release calls.
+// No sockets, no frames, no mempools, no polling loops.
+
+import (
+	"time"
+
+	"github.com/insane-mw/insane/insane"
+)
+
+// InsanePingPong measures rounds round trips of payload bytes through the
+// INSANE API; fast selects the accelerated datapath QoS.
+func InsanePingPong(cluster *insane.Cluster, payload, rounds int, fast bool) []time.Duration {
+	opts := insane.Options{Datapath: insane.Slow}
+	if fast {
+		opts.Datapath = insane.Fast
+	}
+	const pingCh, pongCh = 1001, 1002
+
+	sessA, err := cluster.Nodes()[0].InitSession()
+	check(err, "session A")
+	defer sessA.Close()
+	sessB, err := cluster.Nodes()[1].InitSession()
+	check(err, "session B")
+	defer sessB.Close()
+
+	streamA, err := sessA.CreateStream(opts)
+	check(err, "stream A")
+	streamB, err := sessB.CreateStream(opts)
+	check(err, "stream B")
+
+	pingSink, err := streamB.CreateSink(pingCh, nil)
+	check(err, "ping sink")
+	pongSink, err := streamA.CreateSink(pongCh, nil)
+	check(err, "pong sink")
+	waitSubscribed(cluster.Nodes()[0], pingCh)
+	waitSubscribed(cluster.Nodes()[1], pongCh)
+	pingSrc, err := streamA.CreateSource(pingCh)
+	check(err, "ping source")
+	pongSrc, err := streamB.CreateSource(pongCh)
+	check(err, "pong source")
+
+	// Echo server: consume the ping, emit it back on the pong channel.
+	serverDone := make(chan struct{})
+	go func() {
+		defer close(serverDone)
+		for i := 0; i < rounds; i++ {
+			req, err := pingSink.ConsumeTimeout(5 * time.Second)
+			if err != nil {
+				return
+			}
+			resp, err := pongSrc.GetBuffer(len(req.Payload))
+			if err != nil {
+				return
+			}
+			copy(resp.Payload, req.Payload)
+			resp.ContinueFrom(req)
+			if _, err := pongSrc.Emit(resp, len(req.Payload)); err != nil {
+				return
+			}
+			pingSink.Release(req)
+		}
+	}()
+
+	// Client: emit the ping, consume the pong, record the round trip.
+	rtts := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		buf, err := pingSrc.GetBuffer(payload)
+		if err != nil {
+			break
+		}
+		if _, err := pingSrc.Emit(buf, payload); err != nil {
+			break
+		}
+		pong, err := pongSink.ConsumeTimeout(5 * time.Second)
+		if err != nil {
+			break
+		}
+		rtts = append(rtts, pong.Latency)
+		pongSink.Release(pong)
+	}
+	<-serverDone
+	return rtts
+}
+
+// waitSubscribed spins until the node learned one remote subscriber.
+func waitSubscribed(n *insane.Node, channel int) {
+	deadline := time.Now().Add(2 * time.Second)
+	for n.SubscriberCount(channel) == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,110 @@
+package apps
+
+// The UDP-socket version of the benchmarking application (Table 3 row
+// "UDP socket"): everything below is what a developer writes against a
+// plain socket API — explicit socket setup on both ends, a send path, a
+// receive loop with optional blocking, buffer management by hand.
+
+import (
+	"time"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/datapath/kernel"
+	"github.com/insane-mw/insane/internal/mempool"
+)
+
+// UDPPingPong measures rounds round trips of payload bytes over plain
+// UDP sockets, blocking or busy-polling the receive side.
+func UDPPingPong(env *Env, payload, rounds int, blocking bool) []time.Duration {
+	// Socket setup, client side.
+	client, err := kernel.Plugin{}.Open(datapath.Config{
+		Port:     env.PortA,
+		Resolver: env.Net.Resolver(),
+		Local:    env.AddrA,
+		Alloc:    env.AllocA,
+		Testbed:  env.Testbed,
+		Blocking: blocking,
+	})
+	check(err, "client socket")
+	defer client.Close()
+
+	// Socket setup, server side.
+	server, err := kernel.Plugin{}.Open(datapath.Config{
+		Port:     env.PortB,
+		Resolver: env.Net.Resolver(),
+		Local:    env.AddrB,
+		Alloc:    env.AllocB,
+		Testbed:  env.Testbed,
+		Blocking: blocking,
+	})
+	check(err, "server socket")
+	defer server.Close()
+
+	// The echo server: receive a datagram, send it straight back,
+	// preserving the virtual clock for RTT accounting.
+	serverDone := make(chan struct{})
+	go func() {
+		defer close(serverDone)
+		for i := 0; i < rounds; i++ {
+			req := udpReceiveOne(server, blocking)
+			if req == nil {
+				return
+			}
+			echo := udpNewPacket(env.MemB, req.Bytes())
+
+			echo.VTime, echo.Breakdown = req.VTime, req.Breakdown
+			if _, err := server.Send([]*datapath.Packet{echo}, env.AddrA); err != nil {
+				return
+			}
+			env.MemB.Release(echo.Slot)
+			env.MemB.Release(req.Slot)
+		}
+	}()
+
+	// The client: send, wait for the echo, record the round trip.
+	rtts := make([]time.Duration, 0, rounds)
+	buf := make([]byte, payload)
+	for i := 0; i < rounds; i++ {
+		msg := udpNewPacket(env.MemA, buf)
+		if _, err := client.Send([]*datapath.Packet{msg}, env.AddrB); err != nil {
+			break
+		}
+		env.MemA.Release(msg.Slot)
+		pong := udpReceiveOne(client, blocking)
+		if pong == nil {
+			break
+		}
+		rtts = append(rtts, pong.VTime.Duration())
+		env.MemA.Release(pong.Slot)
+	}
+	<-serverDone
+	return rtts
+}
+
+// udpNewPacket copies payload into a fresh datagram buffer.
+func udpNewPacket(mm *mempool.Manager, payload []byte) *datapath.Packet {
+	slot, buf, err := mm.Get(datapath.Headroom+len(payload), mempool.NoOwner)
+	check(err, "datagram buffer")
+	copy(buf[datapath.Headroom:], payload)
+	return &datapath.Packet{Slot: slot, Buf: buf, Off: datapath.Headroom, Len: len(payload)}
+}
+
+// udpReceiveOne spins (or blocks) until one datagram arrives.
+func udpReceiveOne(sock datapath.Endpoint, blocking bool) *datapath.Packet {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if blocking {
+			if err := sock.WaitRecv(time.Until(deadline)); err != nil {
+				return nil
+			}
+		}
+		pkts, err := sock.Poll(1)
+		if err != nil {
+			return nil
+		}
+		if len(pkts) == 1 {
+			return pkts[0]
+		}
+	}
+	return nil
+}

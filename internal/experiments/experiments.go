@@ -1,0 +1,117 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6-§7). Each experiment produces a Report with the same
+// rows/series the paper plots, alongside the paper's reference values
+// where the text states them, so paper-vs-measured comparison is direct.
+//
+// Latency experiments run the real middleware over the virtual fabric and
+// read accumulated virtual time; throughput experiments run the
+// discrete-event simulator over the same calibrated cost model
+// (see DESIGN.md, "Two measurement layers").
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/insane-mw/insane/internal/bench"
+)
+
+// RunConfig tunes experiment effort.
+type RunConfig struct {
+	// Rounds is the ping-pong iteration count for latency experiments.
+	// The paper uses one million; virtual time is deterministic here, so
+	// a few hundred suffice. Zero means the default.
+	Rounds int
+	// Jobs is the message count for simulated throughput runs (the
+	// paper's stress test sends one million). Zero means the default.
+	Jobs int
+}
+
+func (c RunConfig) rounds() int {
+	if c.Rounds > 0 {
+		return c.Rounds
+	}
+	return 200
+}
+
+func (c RunConfig) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return 4000
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []bench.Table
+	Notes  []string
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for i := range r.Tables {
+		b.WriteString(r.Tables[i].String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces a report.
+type Runner func(cfg RunConfig) (Report, error)
+
+// registry maps experiment ids to runners; ids follow the paper's
+// table/figure numbering.
+var registry = map[string]Runner{
+	"table1":            Table1,
+	"table2":            Table2,
+	"table3":            Table3,
+	"table4":            Table4,
+	"fig5a":             Fig5a,
+	"fig5b":             Fig5b,
+	"fig6":              Fig6,
+	"fig7a":             Fig7a,
+	"fig7b":             Fig7b,
+	"fig8a":             Fig8a,
+	"fig8b":             Fig8b,
+	"fig9a":             Fig9a,
+	"fig9b":             Fig9b,
+	"fig11a":            Fig11a,
+	"fig11b":            Fig11b,
+	"ablation-ipc":      AblationIPC,
+	"ablation-batching": AblationBatching,
+	"ablation-threads":  AblationThreads,
+	"ablation-tsn":      AblationTSN,
+	"ablation-qos":      AblationQoS,
+}
+
+// IDs lists the experiment ids in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg RunConfig) (Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Report{}, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(cfg)
+}
+
+// gbps formats a bit rate in Gbps with two decimals.
+func gbps(bitsPerSec float64) string {
+	return fmt.Sprintf("%.2f", bitsPerSec/1e9)
+}

@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/insane-mw/insane/internal/model"
+)
+
+// quickCfg keeps test runs short; shape does not need many rounds.
+var quickCfg = RunConfig{Rounds: 40, Jobs: 1500}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tab [][]string, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimPrefix(tab[row][col], "~"), 64)
+	if err != nil {
+		t.Fatalf("cell[%d][%d] = %q: %v", row, col, tab[row][col], err)
+	}
+	return v
+}
+
+// findRow locates a row by its first cell.
+func findRow(t *testing.T, rows [][]string, name string) []string {
+	t.Helper()
+	for _, r := range rows {
+		if r[0] == name {
+			return r
+		}
+	}
+	t.Fatalf("row %q not found in %v", name, rows)
+	return nil
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, quickCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id || len(rep.Tables) == 0 {
+				t.Fatalf("report malformed: %+v", rep)
+			}
+			for _, note := range rep.Notes {
+				if strings.HasPrefix(note, "WARNING") {
+					t.Errorf("experiment self-check failed: %s", note)
+				}
+			}
+			if out := rep.String(); !strings.Contains(out, id) {
+				t.Error("rendering lacks the id")
+			}
+		})
+	}
+	if _, err := Run("nope", quickCfg); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	rep, err := Fig5a(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	raw := findRow(t, rows, "Raw DPDK")
+	fast := findRow(t, rows, "INSANE fast")
+	slow := findRow(t, rows, "INSANE slow")
+	kern := findRow(t, rows, "Kernel UDP")
+
+	val := func(r []string) float64 {
+		v, _ := strconv.ParseFloat(r[1], 64)
+		return v
+	}
+	// Paper anchors at 64B local (µs).
+	within := func(name string, got, want float64) {
+		if got < want*0.95 || got > want*1.05 {
+			t.Errorf("%s @64B = %.2f, want ≈%.2f", name, got, want)
+		}
+	}
+	within("raw DPDK", val(raw), 3.44)
+	within("INSANE fast", val(fast), 4.95)
+	within("kernel UDP", val(kern), 12.58)
+	if !(val(raw) < val(fast) && val(fast) < val(kern) && val(kern) < val(slow)+2) {
+		t.Errorf("ordering broken: %v %v %v %v", val(raw), val(fast), val(kern), val(slow))
+	}
+	// Flat across payloads: 1KB within 15% of 64B for INSANE fast.
+	f64, _ := strconv.ParseFloat(fast[1], 64)
+	f1k, _ := strconv.ParseFloat(fast[5], 64)
+	if f1k > f64*1.15 {
+		t.Errorf("INSANE fast grows too much with payload: %v → %v", f64, f1k)
+	}
+}
+
+func TestFig7aMatchesPaper(t *testing.T) {
+	rep, err := Fig7a(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	anchors := map[string]float64{
+		"Blocking UDP Socket":     13.34,
+		"Non-Blocking UDP Socket": 12.58,
+		"Catnap":                  13.66,
+		"Catnip":                  4.26,
+		"INSANE fast":             4.95,
+		"Raw DPDK":                3.44,
+	}
+	for name, want := range anchors {
+		r := findRow(t, rows, name)
+		got, _ := strconv.ParseFloat(r[1], 64)
+		if got < want*0.95 || got > want*1.05 {
+			t.Errorf("%s = %.2f, want ≈%.2f", name, got, want)
+		}
+	}
+}
+
+func TestFig7bCloudShape(t *testing.T) {
+	rep, err := Fig7b(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	get := func(name string) float64 {
+		r := findRow(t, rows, name)
+		v, _ := strconv.ParseFloat(r[1], 64)
+		return v
+	}
+	// Cloud shape: everything slower than local; INSANE fast suffers more
+	// than Catnip; raw DPDK ≈ 6.5-7.
+	if raw := get("Raw DPDK"); raw < 6 || raw > 7.5 {
+		t.Errorf("cloud raw DPDK = %.2f, want ≈6.5-7", raw)
+	}
+	insaneGap := get("INSANE fast") - get("Raw DPDK")
+	catnipGap := get("Catnip") - get("Raw DPDK")
+	if insaneGap <= catnipGap {
+		t.Errorf("cloud: INSANE gap %.2f not larger than Catnip gap %.2f", insaneGap, catnipGap)
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	rep, err := Fig8a(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	at8K := func(name string) float64 {
+		r := findRow(t, rows, name)
+		v, _ := strconv.ParseFloat(r[len(r)-1], 64)
+		return v
+	}
+	raw := at8K(model.SysRawDPDK.String())
+	fast := at8K(model.SysInsaneFast.String())
+	catnip := at8K(model.SysCatnip.String())
+	kern := at8K(model.SysUDPNonBlocking.String())
+	if !(raw > fast && fast > catnip && catnip > kern) {
+		t.Errorf("8KB ordering: raw=%.1f fast=%.1f catnip=%.1f kernel=%.1f", raw, fast, catnip, kern)
+	}
+	if raw < 90 {
+		t.Errorf("raw DPDK @8KB = %.1f, want NIC saturation ≥90", raw)
+	}
+	if fast < 75 || fast > 95 {
+		t.Errorf("INSANE fast @8KB = %.1f, want ≈85-90", fast)
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	rep, err := Fig8b(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	drops := make(map[string]string, len(rows))
+	for _, r := range rows {
+		drops[r[0]] = r[2]
+	}
+	if d := drops["6"]; !strings.HasPrefix(d, "-8") && !strings.HasPrefix(d, "-7") && !strings.HasPrefix(d, "-9") {
+		t.Errorf("6-sink drop = %s, want ≈-8%%", d)
+	}
+	if d := drops["8"]; !strings.HasPrefix(d, "-39") && !strings.HasPrefix(d, "-38") && !strings.HasPrefix(d, "-40") {
+		t.Errorf("8-sink drop = %s, want ≈-39%%", d)
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	rep, err := Fig9a(RunConfig{Rounds: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	at64 := func(name string) float64 { return cell(t, [][]string{findRow(t, rows, name)}, 0, 1) }
+	lf, ls := at64("Lunar fast"), at64("Lunar slow")
+	cy, zmq := at64("Cyclone DDS"), at64("ZeroMQ UDP")
+	if !(lf < ls && ls < cy && cy < zmq) {
+		t.Errorf("MoM latency ordering: fast=%.1f slow=%.1f cyclone=%.1f zmq=%.1f", lf, ls, cy, zmq)
+	}
+	// Lunar fast ≈ INSANE fast + ns overhead: ~5µs RTT.
+	if lf < 4.5 || lf > 5.8 {
+		t.Errorf("Lunar fast RTT = %.2f, want ≈5.0", lf)
+	}
+	// ZeroMQ ≈ Cyclone + 20µs.
+	if zmq-cy < 15 || zmq-cy > 25 {
+		t.Errorf("ZeroMQ - Cyclone = %.1f, want ≈20", zmq-cy)
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	rep, err := Fig9b(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	at1K := func(name string) float64 {
+		r := findRow(t, rows, name)
+		v, _ := strconv.ParseFloat(r[3], 64)
+		return v
+	}
+	lf, ls, cy := at1K("Lunar fast"), at1K("Lunar slow"), at1K("Cyclone DDS")
+	if !(lf > 2.5*ls && ls > cy) {
+		t.Errorf("MoM throughput ordering @1KB: fast=%.1f slow=%.1f cyclone=%.1f", lf, ls, cy)
+	}
+	if lf < 20 || lf > 30 {
+		t.Errorf("Lunar fast @1KB = %.1f Gbps, want ≈23-26 (paper 22.82)", lf)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	repA, err := Fig11a(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := repA.Tables[0].Rows
+	for i, r := range rows {
+		fast, _ := strconv.ParseFloat(r[1], 64)
+		slow, _ := strconv.ParseFloat(r[2], 64)
+		sf, _ := strconv.ParseFloat(r[3], 64)
+		if !(fast > sf && fast > slow) {
+			t.Errorf("row %d (%s): fast=%.0f slow=%.0f sendfile=%.0f, want fast dominant", i, r[0], fast, slow, sf)
+		}
+	}
+	// HD above 1000 FPS, 4K above 100 FPS for Lunar fast.
+	hd, _ := strconv.ParseFloat(rows[0][1], 64)
+	fourK, _ := strconv.ParseFloat(rows[3][1], 64)
+	if hd < 1000 || fourK < 100 {
+		t.Errorf("Lunar fast FPS: HD=%.0f (want >1000), 4K=%.0f (want >100)", hd, fourK)
+	}
+
+	repB, err := Fig11b(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsB := repB.Tables[0].Rows
+	fourKLat, _ := strconv.ParseFloat(rowsB[3][1], 64)
+	if fourKLat > 10 {
+		t.Errorf("Lunar fast 4K latency = %.1f ms, want <10", fourKLat)
+	}
+}
+
+func TestTable3Ordering(t *testing.T) {
+	rep, err := Table3(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	loc := func(name string) float64 {
+		r := findRow(t, rows, name)
+		v, _ := strconv.ParseFloat(r[1], 64)
+		return v
+	}
+	insane, udp, dpdk := loc("INSANE"), loc("UDP socket"), loc("DPDK")
+	if !(insane < udp && udp < dpdk) {
+		t.Errorf("LoC ordering: insane=%v udp=%v dpdk=%v", insane, udp, dpdk)
+	}
+	// DPDK should be roughly double INSANE, as in the paper (+103%).
+	if dpdk < insane*1.5 {
+		t.Errorf("DPDK LoC %v not clearly larger than INSANE %v", dpdk, insane)
+	}
+}
+
+func TestFig6Consistency(t *testing.T) {
+	rep, err := Fig6(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	for _, r := range rows {
+		sum := cell(t, [][]string{r}, 0, 1) + cell(t, [][]string{r}, 0, 2) +
+			cell(t, [][]string{r}, 0, 3) + cell(t, [][]string{r}, 0, 4)
+		total := cell(t, [][]string{r}, 0, 5)
+		if sum < total*0.99 || sum > total*1.01 {
+			t.Errorf("%s: stages %.2f != total %.2f", r[0], sum, total)
+		}
+	}
+}
+
+func TestAblationTSNImproves(t *testing.T) {
+	rep, err := AblationTSN(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Notes {
+		if strings.HasPrefix(n, "WARNING") {
+			t.Error(n)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/insane-mw/insane/internal/bench"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/refsys"
+	"github.com/insane-mw/insane/lunar/streaming"
+)
+
+// streamFragPayload is the INSANE message size of one Lunar Streaming
+// fragment (fragment header + chunk).
+const streamFragPayload = streaming.MaxFragPayload + 16
+
+// reassemblyCopyNsPerByte is the receiver-side cost of copying fragment
+// payloads into the frame buffer — the copy the paper identifies as
+// unavoidable for non-RDMA technologies (§8).
+const reassemblyCopyNsPerByte = 0.058
+
+// streamModel computes the modeled per-frame latency and sustainable FPS
+// of Lunar Streaming over one INSANE configuration.
+type streamModel struct {
+	sys model.System
+	tb  model.Testbed
+}
+
+// perFragment returns the pipeline bottleneck for one fragment.
+func (m streamModel) perFragment() time.Duration {
+	burst := 1
+	if m.sys.Batching() {
+		burst = model.DefaultBurst
+	}
+	return model.Build(m.sys).Bottleneck(streamFragPayload, burst, m.tb)
+}
+
+// fragments returns the fragment count of a frame.
+func fragments(size int) int {
+	n := (size + streaming.MaxFragPayload - 1) / streaming.MaxFragPayload
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// FrameLatency models the end-to-end frame time: pipeline fill for the
+// first fragment, one bottleneck period per further fragment, plus the
+// receiver's reassembly copy.
+func (m streamModel) FrameLatency(size int) time.Duration {
+	n := fragments(size)
+	oneWay := model.Build(m.sys).OneWayLatency(streamFragPayload, m.tb)
+	copyCost := time.Duration(reassemblyCopyNsPerByte * float64(size))
+	return oneWay + time.Duration(n-1)*m.perFragment() + copyCost
+}
+
+// FPS models the sustainable frame rate.
+func (m streamModel) FPS(size int) float64 {
+	perFrame := time.Duration(fragments(size)) * m.perFragment()
+	if c := time.Duration(reassemblyCopyNsPerByte * float64(size)); c > perFrame {
+		perFrame = c // reassembly-bound regime
+	}
+	if perFrame <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(perFrame)
+}
+
+// Fig11a reproduces the FPS-vs-resolution comparison.
+func Fig11a(RunConfig) (Report, error) {
+	fast := streamModel{sys: model.SysInsaneFast, tb: model.Local}
+	slow := streamModel{sys: model.SysInsaneSlow, tb: model.Local}
+	sf := refsys.NewSendfile(model.Local)
+
+	t := bench.Table{
+		Title:  "Streaming frames per second for increasing image resolution",
+		Header: []string{"Resolution", "Lunar fast", "Lunar slow", "sendfile"},
+	}
+	for _, r := range imageResolutions {
+		t.AddRow(r.name,
+			fmt.Sprintf("%.0f", fast.FPS(r.bytes)),
+			fmt.Sprintf("%.0f", slow.FPS(r.bytes)),
+			fmt.Sprintf("%.0f", sf.FPS(r.bytes)))
+	}
+	notes := []string{
+		"paper anchors: >1000 FPS at HD and >100 FPS up to 4K for Lunar fast, consistently above sendfile",
+	}
+	if fast.FPS(imageResolutions[0].bytes) < 1000 {
+		notes = append(notes, "WARNING: Lunar fast below 1000 FPS at HD")
+	}
+	if fast.FPS(imageResolutions[3].bytes) < 100 {
+		notes = append(notes, "WARNING: Lunar fast below 100 FPS at 4K")
+	}
+	return Report{
+		ID: "fig11a", Title: "Fig. 11a — FPS for increasing image resolution",
+		Tables: []bench.Table{t},
+		Notes:  notes,
+	}, nil
+}
+
+// Fig11b reproduces the per-frame latency comparison.
+func Fig11b(RunConfig) (Report, error) {
+	fast := streamModel{sys: model.SysInsaneFast, tb: model.Local}
+	slow := streamModel{sys: model.SysInsaneSlow, tb: model.Local}
+	sf := refsys.NewSendfile(model.Local)
+
+	t := bench.Table{
+		Title:  "Per-frame latency (ms) for increasing image resolution",
+		Header: []string{"Resolution", "Lunar fast", "Lunar slow", "sendfile"},
+	}
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+	}
+	for _, r := range imageResolutions {
+		t.AddRow(r.name,
+			ms(fast.FrameLatency(r.bytes)),
+			ms(slow.FrameLatency(r.bytes)),
+			ms(sf.FrameLatency(r.bytes)))
+	}
+	notes := []string{
+		"paper anchor: Lunar fast latency never exceeds 10 ms up to 4K resolution",
+	}
+	if fast.FrameLatency(imageResolutions[3].bytes) > 10*time.Millisecond {
+		notes = append(notes, "WARNING: Lunar fast above 10ms at 4K")
+	}
+	return Report{
+		ID: "fig11b", Title: "Fig. 11b — latency per frame for increasing image resolution",
+		Tables: []bench.Table{t},
+		Notes:  notes,
+	}, nil
+}

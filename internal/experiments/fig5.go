@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/insane-mw/insane/insane"
+	"github.com/insane-mw/insane/internal/bench"
+	"github.com/insane-mw/insane/internal/experiments/apps"
+	"github.com/insane-mw/insane/internal/model"
+)
+
+// fig5Payloads are the message sizes of Fig. 5.
+var fig5Payloads = []int{64, 256, 1024}
+
+// latencyCluster builds the two-node INSANE deployment for a testbed.
+func latencyCluster(tb model.Testbed) (*insane.Cluster, error) {
+	topo := insane.TopologyDirect
+	if tb.SwitchLatency > 0 {
+		topo = insane.TopologySwitched
+	}
+	return insane.NewCluster(insane.ClusterOptions{
+		Nodes: []insane.NodeSpec{
+			{Name: "n1", DPDK: true},
+			{Name: "n2", DPDK: true},
+		},
+		Topology: topo,
+		Cloud:    tb.Name == model.Cloud.Name,
+	})
+}
+
+// runFig5 measures the four systems of Fig. 5 on one testbed.
+func runFig5(id, title string, tb model.Testbed, cfg RunConfig) (Report, error) {
+	rounds := cfg.rounds()
+	t := bench.Table{
+		Title:  fmt.Sprintf("RTT (µs) for increasing payload sizes — %s testbed", tb.Name),
+		Header: []string{"System", "64B median", "64B p25", "64B p75", "256B median", "1024B median"},
+	}
+
+	type row struct {
+		name    string
+		measure func(payload int) []time.Duration
+	}
+	cluster, err := latencyCluster(tb)
+	if err != nil {
+		return Report{}, err
+	}
+	defer cluster.Close()
+
+	rows := []row{
+		{"Raw DPDK", func(p int) []time.Duration {
+			env, err := apps.NewEnv(tb)
+			if err != nil {
+				return nil
+			}
+			return apps.DPDKPingPong(env, p, rounds)
+		}},
+		{"INSANE fast", func(p int) []time.Duration {
+			return apps.InsanePingPong(cluster, p, rounds, true)
+		}},
+		{"INSANE slow", func(p int) []time.Duration {
+			return apps.InsanePingPong(cluster, p, rounds, false)
+		}},
+		{"Kernel UDP", func(p int) []time.Duration {
+			env, err := apps.NewEnv(tb)
+			if err != nil {
+				return nil
+			}
+			return apps.UDPPingPong(env, p, rounds, false)
+		}},
+	}
+
+	for _, r := range rows {
+		var cells []string
+		for i, p := range fig5Payloads {
+			samples := r.measure(p)
+			if len(samples) == 0 {
+				return Report{}, fmt.Errorf("%s: %s produced no samples at %dB", id, r.name, p)
+			}
+			s := bench.Summarize(samples)
+			if i == 0 {
+				cells = append(cells, bench.Micros(s.Median), bench.Micros(s.P25), bench.Micros(s.P75))
+			} else {
+				cells = append(cells, bench.Micros(s.Median))
+			}
+		}
+		t.AddRow(append([]string{r.name}, cells...)...)
+	}
+
+	notes := []string{
+		fmt.Sprintf("%d ping-pong rounds per cell (paper: 1M); virtual time is deterministic, so quartiles collapse onto the median", rounds),
+		"paper anchors (local, 64B): raw DPDK 3.44, INSANE fast 4.95, kernel UDP 12.58, INSANE slow ≈ kernel + 1µs",
+	}
+	return Report{ID: id, Title: title, Tables: []bench.Table{t}, Notes: notes}, nil
+}
+
+// Fig5a reproduces Fig. 5a: RTT vs payload on the local testbed.
+func Fig5a(cfg RunConfig) (Report, error) {
+	return runFig5("fig5a", "Fig. 5a — RTT for increasing payload sizes (local testbed)", model.Local, cfg)
+}
+
+// Fig5b reproduces Fig. 5b: RTT vs payload on the public cloud testbed.
+func Fig5b(cfg RunConfig) (Report, error) {
+	return runFig5("fig5b", "Fig. 5b — RTT for increasing payload sizes (public cloud)", model.Cloud, cfg)
+}

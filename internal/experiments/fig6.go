@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/insane-mw/insane/internal/bench"
+	"github.com/insane-mw/insane/internal/model"
+)
+
+// Fig6 reproduces the INSANE fast latency breakdown at 64 B: where the
+// round-trip time goes on each testbed (send / receive / data processing
+// / network). The paper uses it to explain why the slower cloud CPU
+// inflates INSANE's send/receive stages more than the network share.
+func Fig6(RunConfig) (Report, error) {
+	t := bench.Table{
+		Title:  "INSANE fast latency breakdown, 64B payload (one way, µs)",
+		Header: []string{"Testbed", "Send", "Receive", "Data processing", "Network", "Total"},
+	}
+	type share struct{ send, recv, proc, net, total time.Duration }
+	shares := make(map[string]share, 2)
+	for _, tb := range model.Testbeds() {
+		p := model.Build(model.SysInsaneFast)
+		bd := p.Breakdown(64, tb)
+		s := share{
+			send:  bd[model.CatSend],
+			recv:  bd[model.CatRecv],
+			proc:  bd[model.CatProcessing],
+			net:   bd[model.CatNetwork],
+			total: p.OneWayLatency(64, tb),
+		}
+		shares[tb.Name] = s
+		t.AddRow(tb.Name,
+			bench.Micros(s.send), bench.Micros(s.recv),
+			bench.Micros(s.proc), bench.Micros(s.net),
+			bench.Micros(s.total))
+	}
+
+	local, cloud := shares[model.Local.Name], shares[model.Cloud.Name]
+	notes := []string{
+		"the cloud network share grows by the 1.7µs switch traversal, as the paper measures",
+		fmt.Sprintf("cloud send+receive inflate %.1fx over local (paper: 'significantly higher time spent by INSANE in the send and receive operations')",
+			float64(cloud.send+cloud.recv)/float64(local.send+local.recv)),
+	}
+	if cloud.net-local.net != 1700*time.Nanosecond {
+		notes = append(notes, "WARNING: switch latency share does not match 1.7µs")
+	}
+	return Report{
+		ID: "fig6", Title: "Fig. 6 — INSANE fast latency breakdown (64B)",
+		Tables: []bench.Table{t},
+		Notes:  notes,
+	}, nil
+}

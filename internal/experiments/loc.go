@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	_ "embed"
+	"fmt"
+	"strings"
+
+	"github.com/insane-mw/insane/internal/bench"
+)
+
+// The three versions of the benchmarking application, embedded so the
+// harness counts exactly the code a developer writes against each
+// interface (Table 3 of the paper).
+var (
+	//go:embed apps/insane_pingpong.go
+	insaneAppSrc string
+	//go:embed apps/udp_pingpong.go
+	udpAppSrc string
+	//go:embed apps/dpdk_pingpong.go
+	dpdkAppSrc string
+)
+
+// countLoC counts non-blank, non-comment-only lines, the convention LoC
+// tools apply to C and Go alike.
+func countLoC(src string) int {
+	n := 0
+	inBlock := false
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if inBlock {
+			if strings.Contains(s, "*/") {
+				inBlock = false
+			}
+			continue
+		}
+		switch {
+		case s == "":
+		case strings.HasPrefix(s, "//"):
+		case strings.HasPrefix(s, "/*"):
+			if !strings.Contains(s, "*/") {
+				inBlock = true
+			}
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// Table3 reproduces the lines-of-code comparison: how much code the same
+// ping-pong benchmark takes against each interface.
+func Table3(RunConfig) (Report, error) {
+	insaneLoC := countLoC(insaneAppSrc)
+	udpLoC := countLoC(udpAppSrc)
+	dpdkLoC := countLoC(dpdkAppSrc)
+	if insaneLoC == 0 {
+		return Report{}, fmt.Errorf("table3: embedded sources missing")
+	}
+	pct := func(n int) string {
+		return fmt.Sprintf("%+.0f%%", 100*float64(n-insaneLoC)/float64(insaneLoC))
+	}
+	t := bench.Table{
+		Title:  "LoC to implement the benchmarking application",
+		Header: []string{"Interface", "LoC (measured)", "Increase", "Paper LoC", "Paper increase"},
+	}
+	t.AddRow("INSANE", fmt.Sprint(insaneLoC), "—", "189", "—")
+	t.AddRow("UDP socket", fmt.Sprint(udpLoC), pct(udpLoC), "227", "+20%")
+	t.AddRow("DPDK", fmt.Sprint(dpdkLoC), pct(dpdkLoC), "384", "+103%")
+
+	notes := []string{
+		"measured over internal/experiments/apps/*.go: the code a developer writes against each interface",
+	}
+	if !(insaneLoC < udpLoC && udpLoC < dpdkLoC) {
+		notes = append(notes, "WARNING: expected ordering INSANE < UDP < DPDK violated")
+	}
+	return Report{
+		ID: "table3", Title: "Table 3 — benchmark application size per interface",
+		Tables: []bench.Table{t},
+		Notes:  notes,
+	}, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/insane-mw/insane/internal/bench"
+	"github.com/insane-mw/insane/internal/model"
+)
+
+// Table1 reproduces the technology comparison matrix.
+func Table1(RunConfig) (Report, error) {
+	t := bench.Table{
+		Title:  "Main options for end-host networking in the edge cloud",
+		Header: []string{"Technology", "Kernel integration", "API", "Zero-copy", "CPU consumption", "Dedicated HW"},
+	}
+	names := map[model.Tech]string{
+		model.TechKernelUDP: "Kernel TCP/IP",
+		model.TechXDP:       "XDP",
+		model.TechDPDK:      "DPDK",
+		model.TechRDMA:      "RDMA",
+	}
+	yesNo := func(b bool) string {
+		if b {
+			return "Yes"
+		}
+		return "No"
+	}
+	for _, info := range model.Table1() {
+		t.AddRow(names[info.Tech], info.KernelIntegration, info.API,
+			yesNo(info.ZeroCopy), info.CPU.String(), yesNo(info.DedicatedHW))
+	}
+	return Report{
+		ID: "table1", Title: "Table 1 — technology comparison",
+		Tables: []bench.Table{t},
+		Notes:  []string{"static capability matrix; matches the paper's Table 1 by construction"},
+	}, nil
+}
+
+// Table2 reproduces the testbed setup table.
+func Table2(RunConfig) (Report, error) {
+	t := bench.Table{
+		Title:  "Setup of the local and public testbed",
+		Header: []string{"Testbed", "OS", "CPU", "RAM", "NIC", "Switch"},
+	}
+	for _, tb := range model.Testbeds() {
+		t.AddRow(tb.Name, tb.OS, tb.CPU, tb.RAM, tb.NIC, tb.Switch)
+	}
+	t2 := bench.Table{
+		Title:  "Calibrated fabric parameters derived from Table 2",
+		Header: []string{"Testbed", "Link rate", "Propagation", "Switch latency", "Kernel CPU scale", "Runtime CPU scale"},
+	}
+	for _, tb := range model.Testbeds() {
+		t2.AddRow(tb.Name, tb.LinkRate.String(), tb.PropDelay.String(),
+			tb.SwitchLatency.String(),
+			fmt.Sprintf("%.2fx", tb.KernelScale), fmt.Sprintf("%.2fx", tb.RuntimeScale))
+	}
+	return Report{
+		ID: "table2", Title: "Table 2 — testbed setup",
+		Tables: []bench.Table{t, t2},
+		Notes:  []string{"the second table lists the simulation parameters standing in for the physical hardware"},
+	}, nil
+}
+
+// Table4 reproduces the streaming image size table.
+func Table4(RunConfig) (Report, error) {
+	t := bench.Table{
+		Title:  "Size of the images sent in the streaming benchmark",
+		Header: []string{"Resolution", "Size (MB)"},
+	}
+	for _, r := range imageResolutions {
+		t.AddRow(r.name, fmt.Sprintf("%.2f", float64(r.bytes)/1e6))
+	}
+	return Report{
+		ID: "table4", Title: "Table 4 — streaming image sizes",
+		Tables: []bench.Table{t},
+		Notes:  []string{"raw RGB frames: width x height x 3 bytes, as the paper streams uncompressed images"},
+	}, nil
+}
+
+// imageResolutions lists Table 4 of the paper (raw RGB sizes).
+var imageResolutions = []struct {
+	name  string
+	bytes int
+}{
+	{"HD", 2_760_000},
+	{"Full HD", 6_220_000},
+	{"2K", 11_600_000},
+	{"4K", 24_880_000},
+	{"8K", 99_530_000},
+}

@@ -1,0 +1,381 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/insane-mw/insane/internal/netstack"
+	"github.com/insane-mw/insane/internal/timebase"
+)
+
+// buildFrame builds a minimal valid UDP frame addressed dst←src.
+func buildFrame(t *testing.T, src, dst *Port, payload []byte) []byte {
+	t.Helper()
+	buf := make([]byte, netstack.HeadersLen+len(payload))
+	copy(buf[netstack.HeadersLen:], payload)
+	meta := netstack.FrameMeta{
+		SrcMAC: src.MAC(), DstMAC: dst.MAC(),
+		Src: netstack.Endpoint{IP: src.IP(), Port: 1},
+		Dst: netstack.Endpoint{IP: dst.IP(), Port: 2},
+	}
+	n, err := netstack.EncodeUDP(buf, meta, len(payload), netstack.JumboMTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:n]
+}
+
+func twoHostsDirect(t *testing.T, link LinkParams) (*Network, *Port, *Port) {
+	t.Helper()
+	n := New(1)
+	a, err := n.AddHost("a", netstack.IPv4{10, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddHost("b", netstack.IPv4{10, 0, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ConnectDirect(a, b, link); err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b
+}
+
+func TestDirectDelivery(t *testing.T) {
+	_, a, b := twoHostsDirect(t, DefaultLink)
+	payload := []byte("ping")
+	frame := buildFrame(t, a, b, payload)
+	if err := a.Transmit(frame, 0, Breakdown{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := netstack.DecodeUDP(f.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestWireCopyIsolation(t *testing.T) {
+	_, a, b := twoHostsDirect(t, DefaultLink)
+	frame := buildFrame(t, a, b, []byte("orig"))
+	if err := a.Transmit(frame, 0, Breakdown{}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the sender's buffer after Transmit must not affect the
+	// delivered frame (the wire copies).
+	for i := range frame {
+		frame[i] = 0
+	}
+	f, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := netstack.DecodeUDP(f.Data)
+	if err != nil {
+		t.Fatalf("delivered frame corrupted: %v", err)
+	}
+	if string(got) != "orig" {
+		t.Errorf("payload = %q, want orig", got)
+	}
+}
+
+func TestVirtualTimeAdvance(t *testing.T) {
+	link := LinkParams{Rate: 100 * timebase.Gbps, PropDelay: 450 * time.Nanosecond}
+	_, a, b := twoHostsDirect(t, link)
+	frame := buildFrame(t, a, b, make([]byte, 958)) // frame 1000B
+	start := timebase.VTime(1000)
+	if err := a.Transmit(frame, start, Breakdown{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serialization: (1000+24)*8 bits / 100e9 = 81.92 ns → 81 ns truncated
+	wantWire := link.Rate.Transmission(len(frame)+netstack.WireOverhead) + link.PropDelay
+	if got := f.VTime.Sub(start); got != wantWire {
+		t.Errorf("wire time = %v, want %v", got, wantWire)
+	}
+	if f.Breakdown.Network != wantWire {
+		t.Errorf("breakdown network = %v, want %v", f.Breakdown.Network, wantWire)
+	}
+}
+
+func TestSwitchForwardingAndLatency(t *testing.T) {
+	n := New(1)
+	a, _ := n.AddHost("a", netstack.IPv4{10, 0, 0, 1})
+	b, _ := n.AddHost("b", netstack.IPv4{10, 0, 0, 2})
+	c, _ := n.AddHost("c", netstack.IPv4{10, 0, 0, 3})
+	sw := n.AddSwitch("tor", SwitchParams{Latency: 1700 * time.Nanosecond})
+	link := LinkParams{Rate: 100 * timebase.Gbps, PropDelay: 100 * time.Nanosecond}
+	for _, p := range []*Port{a, b, c} {
+		if err := n.ConnectToSwitch(p, sw, link); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame := buildFrame(t, a, b, []byte("x"))
+	if err := a.Transmit(frame, 0, Breakdown{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWire := link.Rate.Transmission(len(frame)+netstack.WireOverhead) + link.PropDelay + 1700*time.Nanosecond
+	if got := time.Duration(f.VTime); got != wantWire {
+		t.Errorf("switched wire time = %v, want %v", got, wantWire)
+	}
+	// c must not receive the unicast frame.
+	if _, ok := c.TryRecv(); ok {
+		t.Error("unicast frame flooded to third port")
+	}
+}
+
+func TestSwitchBroadcast(t *testing.T) {
+	n := New(1)
+	a, _ := n.AddHost("a", netstack.IPv4{10, 0, 0, 1})
+	b, _ := n.AddHost("b", netstack.IPv4{10, 0, 0, 2})
+	c, _ := n.AddHost("c", netstack.IPv4{10, 0, 0, 3})
+	sw := n.AddSwitch("tor", SwitchParams{})
+	for _, p := range []*Port{a, b, c} {
+		if err := n.ConnectToSwitch(p, sw, LinkParams{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, netstack.HeadersLen+1)
+	meta := netstack.FrameMeta{
+		SrcMAC: a.MAC(), DstMAC: netstack.BroadcastMAC,
+		Src: netstack.Endpoint{IP: a.IP(), Port: 1},
+		Dst: netstack.Endpoint{IP: netstack.IPv4{255, 255, 255, 255}, Port: 2},
+	}
+	fl, err := netstack.EncodeUDP(buf, meta, 1, netstack.JumboMTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Transmit(buf[:fl], 0, Breakdown{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Port{b, c} {
+		if _, err := p.Recv(time.Second); err != nil {
+			t.Errorf("broadcast not delivered to %s: %v", p.MAC(), err)
+		}
+	}
+	// Sender must not hear its own broadcast.
+	if _, ok := a.TryRecv(); ok {
+		t.Error("broadcast echoed to sender")
+	}
+}
+
+func TestLossInjectionDeterministic(t *testing.T) {
+	link := DefaultLink
+	link.LossRate = 0.5
+	_, a, b := twoHostsDirect(t, link)
+	const total = 1000
+	for i := 0; i < total; i++ {
+		frame := buildFrame(t, a, b, []byte{byte(i)})
+		if err := a.Transmit(frame, 0, Breakdown{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.Dropped == 0 || st.Dropped == total {
+		t.Errorf("dropped = %d, want 0 < d < %d", st.Dropped, total)
+	}
+	got := 0
+	for {
+		if _, ok := b.TryRecv(); !ok {
+			break
+		}
+		got++
+	}
+	if uint64(got)+st.Dropped != total {
+		t.Errorf("received %d + dropped %d != %d", got, st.Dropped, total)
+	}
+	// Rough sanity: loss near 50%.
+	if st.Dropped < total/4 || st.Dropped > 3*total/4 {
+		t.Errorf("loss %d far from 50%% of %d", st.Dropped, total)
+	}
+}
+
+func TestRxQueueOverflowDrops(t *testing.T) {
+	_, a, b := twoHostsDirect(t, DefaultLink)
+	frame := buildFrame(t, a, b, []byte("x"))
+	for i := 0; i < rxQueueDepth+100; i++ {
+		if err := a.Transmit(frame, 0, Breakdown{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Stats().Dropped; got != 100 {
+		t.Errorf("dropped = %d, want 100", got)
+	}
+	if got := b.Stats().RxFrames; got != rxQueueDepth {
+		t.Errorf("rx frames = %d, want %d", got, rxQueueDepth)
+	}
+}
+
+func TestPortLifecycleErrors(t *testing.T) {
+	n := New(1)
+	a, _ := n.AddHost("a", netstack.IPv4{10, 0, 0, 1})
+	if err := a.Transmit([]byte("x"), 0, Breakdown{}); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("unattached transmit err = %v", err)
+	}
+	b, _ := n.AddHost("b", netstack.IPv4{10, 0, 0, 2})
+	if err := n.ConnectDirect(a, b, DefaultLink); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ConnectDirect(a, b, DefaultLink); err == nil {
+		t.Error("double connect: want error")
+	}
+	if _, err := n.AddHost("a", netstack.IPv4{10, 0, 0, 9}); err == nil {
+		t.Error("duplicate host: want error")
+	}
+	a.Close()
+	if err := a.Transmit([]byte("x"), 0, Breakdown{}); !errors.Is(err, ErrPortClosed) {
+		t.Errorf("closed transmit err = %v", err)
+	}
+	if _, err := a.Recv(time.Millisecond); !errors.Is(err, ErrPortClosed) {
+		t.Errorf("closed recv err = %v", err)
+	}
+	a.Close() // idempotent
+}
+
+func TestRecvTimeout(t *testing.T) {
+	_, a, _ := twoHostsDirect(t, DefaultLink)
+	start := time.Now()
+	if _, err := a.Recv(10 * time.Millisecond); err == nil {
+		t.Error("want timeout error")
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("Recv returned before timeout")
+	}
+}
+
+func TestResolverPopulated(t *testing.T) {
+	n, a, b := twoHostsDirect(t, DefaultLink)
+	mac, err := n.Resolver().Resolve(b.IP())
+	if err != nil || mac != b.MAC() {
+		t.Errorf("Resolve(b) = %v,%v", mac, err)
+	}
+	mac, err = n.Resolver().Resolve(a.IP())
+	if err != nil || mac != a.MAC() {
+		t.Errorf("Resolve(a) = %v,%v", mac, err)
+	}
+}
+
+func TestBreakdownAccumulation(t *testing.T) {
+	var b Breakdown
+	b.Add(Breakdown{Send: 1, Network: 2, Recv: 3, Processing: 4})
+	b.Add(Breakdown{Send: 10, Network: 20, Recv: 30, Processing: 40})
+	want := Breakdown{Send: 11, Network: 22, Recv: 33, Processing: 44}
+	if b != want {
+		t.Errorf("breakdown = %+v, want %+v", b, want)
+	}
+	if b.Total() != 110 {
+		t.Errorf("total = %v, want 110", b.Total())
+	}
+}
+
+func TestJitterSpreadsWireLatency(t *testing.T) {
+	link := DefaultLink
+	link.Jitter = 200 * time.Nanosecond
+	_, a, b := twoHostsDirect(t, link)
+	frame := buildFrame(t, a, b, []byte("j"))
+	seen := map[time.Duration]bool{}
+	var minW, maxW time.Duration
+	for i := 0; i < 200; i++ {
+		if err := a.Transmit(frame, 0, Breakdown{}); err != nil {
+			t.Fatal(err)
+		}
+		f, err := b.Recv(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := f.Breakdown.Network
+		seen[w] = true
+		if minW == 0 || w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("jitter produced only %d distinct wire times", len(seen))
+	}
+	// Spread bounded by ±Jitter around the nominal value.
+	if maxW-minW > 2*link.Jitter {
+		t.Errorf("spread %v exceeds 2x jitter", maxW-minW)
+	}
+	nominal := link.Rate.Transmission(len(frame)+netstack.WireOverhead) + link.PropDelay
+	if minW < nominal-link.Jitter || maxW > nominal+link.Jitter {
+		t.Errorf("wire time range [%v,%v] outside nominal %v ± %v", minW, maxW, nominal, link.Jitter)
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	sample := func() []time.Duration {
+		link := DefaultLink
+		link.Jitter = 150 * time.Nanosecond
+		_, a, b := twoHostsDirect(t, link)
+		frame := buildFrame(t, a, b, []byte("d"))
+		var out []time.Duration
+		for i := 0; i < 20; i++ {
+			if err := a.Transmit(frame, 0, Breakdown{}); err != nil {
+				t.Fatal(err)
+			}
+			f, err := b.Recv(time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, f.Breakdown.Network)
+		}
+		return out
+	}
+	s1, s2 := sample(), sample()
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed produced different jitter at %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestSwitchUnknownUnicastDropped(t *testing.T) {
+	n := New(1)
+	a, _ := n.AddHost("a", netstack.IPv4{10, 0, 0, 1})
+	b, _ := n.AddHost("b", netstack.IPv4{10, 0, 0, 2})
+	sw := n.AddSwitch("tor", SwitchParams{})
+	for _, p := range []*Port{a, b} {
+		if err := n.ConnectToSwitch(p, sw, LinkParams{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Frame to a MAC the switch never learned.
+	buf := make([]byte, netstack.HeadersLen+1)
+	meta := netstack.FrameMeta{
+		SrcMAC: a.MAC(), DstMAC: netstack.MAC{0x02, 9, 9, 9, 9, 9},
+		Src: netstack.Endpoint{IP: a.IP(), Port: 1},
+		Dst: netstack.Endpoint{IP: netstack.IPv4{10, 0, 0, 99}, Port: 2},
+	}
+	fl, err := netstack.EncodeUDP(buf, meta, 1, netstack.JumboMTU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Transmit(buf[:fl], 0, Breakdown{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.TryRecv(); ok {
+		t.Error("unknown unicast leaked to another port")
+	}
+	if a.Stats().Dropped != 1 {
+		t.Errorf("dropped = %d, want 1 (counted against sender)", a.Stats().Dropped)
+	}
+}

@@ -1,0 +1,331 @@
+// Package mempool implements the INSANE memory manager (§5.3 of the paper):
+// the component that decouples the technology-agnostic API from the
+// heterogeneous zero-copy mechanisms of each datapath.
+//
+// At startup the manager reserves memory areas (pools) divided into
+// fixed-size slots, each uniquely identified within its pool by a slot id.
+// Applications and the runtime exchange slot ids — never bytes — over the
+// token rings, which is what makes the transfer zero-copy inside a host.
+// Slots are reference counted so a single received packet can be delivered
+// to multiple local sinks (Fig. 8b) without copies.
+//
+// In the C prototype the pool is a shared-memory segment registered with the
+// NIC for DMA; here it is a contiguous Go byte slice shared by the runtime
+// and the (in-process) client library, which preserves the programming model
+// and the slot-id protocol exactly.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"github.com/insane-mw/insane/internal/ringbuf"
+)
+
+// Errors returned by the manager.
+var (
+	// ErrExhausted is returned by Get when no free slot of a suitable
+	// class is available. Callers typically back off and retry: under
+	// sustained overload this is the built-in flow control of the
+	// zero-copy design (a sender cannot outrun slot recycling).
+	ErrExhausted = errors.New("mempool: no free slot available")
+	// ErrTooLarge is returned when the requested size exceeds every
+	// configured slot class.
+	ErrTooLarge = errors.New("mempool: requested size exceeds largest slot class")
+	// ErrBadSlot is returned for operations on slot ids that do not
+	// identify a live, borrowed slot.
+	ErrBadSlot = errors.New("mempool: invalid slot id or slot not in use")
+)
+
+// SlotID uniquely identifies a slot across all pools of one manager.
+// The high bits select the pool (size class), the low bits the slot index.
+type SlotID uint32
+
+const (
+	poolShift = 24
+	indexMask = (1 << poolShift) - 1
+)
+
+// NoSlot is the zero SlotID sentinel; valid ids are never equal to it
+// because pool numbering starts at 1.
+const NoSlot SlotID = 0
+
+func makeSlotID(pool, index int) SlotID {
+	return SlotID(uint32(pool+1)<<poolShift | uint32(index))
+}
+
+func (id SlotID) pool() int  { return int(id>>poolShift) - 1 }
+func (id SlotID) index() int { return int(id & indexMask) }
+
+// String renders the id as pool/index for diagnostics.
+func (id SlotID) String() string {
+	if id == NoSlot {
+		return "slot(none)"
+	}
+	return fmt.Sprintf("slot(%d/%d)", id.pool(), id.index())
+}
+
+// ClassConfig describes one slot size class of a pool.
+type ClassConfig struct {
+	// SlotSize is the usable bytes per slot. Must be > 0.
+	SlotSize int
+	// Slots is the number of slots in the class. Must be > 0.
+	Slots int
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Classes lists the slot size classes. They are sorted by SlotSize
+	// internally; Get picks the smallest class that fits a request.
+	// If empty, DefaultClasses is used.
+	Classes []ClassConfig
+}
+
+// DefaultClasses mirrors the evaluation setup: a standard-MTU class and a
+// jumbo-frame class (the paper enables jumbo frames for payloads > 1.5 KB).
+var DefaultClasses = []ClassConfig{
+	{SlotSize: 2048, Slots: 4096},
+	{SlotSize: 9216, Slots: 1024},
+}
+
+// Owner identifies the session that borrowed a slot, used to reclaim slots
+// when a client detaches without releasing (crash / migration).
+type Owner int32
+
+// NoOwner marks a slot borrowed by the runtime itself.
+const NoOwner Owner = 0
+
+// slotState tracks the lifecycle of one slot.
+type slotState struct {
+	refs  atomic.Int32
+	owner atomic.Int32
+	// gen increments on every recycle, detecting stale-id release bugs.
+	gen atomic.Uint32
+}
+
+// pool is one size class: a contiguous backing area plus slot bookkeeping.
+type pool struct {
+	slotSize int
+	backing  []byte
+	states   []slotState
+	free     *ringbuf.MPMC[uint32] // free slot indexes
+}
+
+// Manager owns the memory pools and the borrow/release protocol.
+// All methods are safe for concurrent use.
+type Manager struct {
+	pools []*pool
+
+	// stats
+	gets     atomic.Uint64
+	fails    atomic.Uint64
+	releases atomic.Uint64
+}
+
+// NewManager reserves the configured pools up front (no allocation happens
+// afterwards on the data path).
+func NewManager(cfg Config) (*Manager, error) {
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = DefaultClasses
+	}
+	sorted := make([]ClassConfig, len(classes))
+	copy(sorted, classes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SlotSize < sorted[j].SlotSize })
+
+	if len(sorted) >= 1<<8 {
+		return nil, fmt.Errorf("mempool: too many classes (%d)", len(sorted))
+	}
+	m := &Manager{pools: make([]*pool, 0, len(sorted))}
+	for _, c := range sorted {
+		if c.SlotSize <= 0 || c.Slots <= 0 {
+			return nil, fmt.Errorf("mempool: invalid class %+v", c)
+		}
+		if c.Slots > indexMask {
+			return nil, fmt.Errorf("mempool: class has too many slots (%d)", c.Slots)
+		}
+		free, err := ringbuf.NewMPMC[uint32](c.Slots)
+		if err != nil {
+			return nil, fmt.Errorf("mempool: %w", err)
+		}
+		p := &pool{
+			slotSize: c.SlotSize,
+			backing:  make([]byte, c.SlotSize*c.Slots),
+			states:   make([]slotState, c.Slots),
+			free:     free,
+		}
+		for i := 0; i < c.Slots; i++ {
+			if !p.free.TryPush(uint32(i)) {
+				return nil, fmt.Errorf("mempool: free ring underprovisioned")
+			}
+		}
+		m.pools = append(m.pools, p)
+	}
+	return m, nil
+}
+
+// Get borrows a slot able to hold size bytes for the given owner.
+// The returned buffer aliases pool memory: it is valid until Release
+// (or the final Release when the reference count was raised).
+func (m *Manager) Get(size int, owner Owner) (SlotID, []byte, error) {
+	for pi, p := range m.pools {
+		if size > p.slotSize {
+			continue
+		}
+		idx, ok := p.free.TryPop()
+		if !ok {
+			continue // class exhausted; try a larger one
+		}
+		st := &p.states[idx]
+		st.refs.Store(1)
+		st.owner.Store(int32(owner))
+		m.gets.Add(1)
+		id := makeSlotID(pi, int(idx))
+		return id, p.slotBuf(int(idx)), nil
+	}
+	m.fails.Add(1)
+	if len(m.pools) > 0 && size > m.pools[len(m.pools)-1].slotSize {
+		return NoSlot, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
+	}
+	return NoSlot, nil, ErrExhausted
+}
+
+// Buf returns the full buffer of a borrowed slot.
+func (m *Manager) Buf(id SlotID) ([]byte, error) {
+	p, idx, err := m.locate(id)
+	if err != nil {
+		return nil, err
+	}
+	if p.states[idx].refs.Load() <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadSlot, id)
+	}
+	return p.slotBuf(idx), nil
+}
+
+// SlotSize returns the capacity of the slot identified by id.
+func (m *Manager) SlotSize(id SlotID) (int, error) {
+	p, _, err := m.locate(id)
+	if err != nil {
+		return 0, err
+	}
+	return p.slotSize, nil
+}
+
+// AddRef raises the reference count of a borrowed slot by n (multi-sink
+// delivery takes one reference per sink before handing out the slot id).
+func (m *Manager) AddRef(id SlotID, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("mempool: AddRef count %d must be positive", n)
+	}
+	p, idx, err := m.locate(id)
+	if err != nil {
+		return err
+	}
+	st := &p.states[idx]
+	for {
+		cur := st.refs.Load()
+		if cur <= 0 {
+			return fmt.Errorf("%w: %v", ErrBadSlot, id)
+		}
+		if st.refs.CompareAndSwap(cur, cur+int32(n)) {
+			return nil
+		}
+	}
+}
+
+// Release drops one reference; when the count reaches zero the slot returns
+// to its pool's free ring.
+func (m *Manager) Release(id SlotID) error {
+	p, idx, err := m.locate(id)
+	if err != nil {
+		return err
+	}
+	st := &p.states[idx]
+	n := st.refs.Add(-1)
+	if n < 0 {
+		st.refs.Add(1) // undo; report misuse
+		return fmt.Errorf("%w: double release of %v", ErrBadSlot, id)
+	}
+	if n == 0 {
+		st.owner.Store(int32(NoOwner))
+		st.gen.Add(1)
+		m.releases.Add(1)
+		if !p.free.TryPush(uint32(idx)) {
+			// Cannot happen: ring capacity equals slot count.
+			return fmt.Errorf("mempool: free ring overflow for %v", id)
+		}
+	}
+	return nil
+}
+
+// ReleaseOwner force-releases every slot currently borrowed by owner,
+// returning how many were reclaimed. The runtime calls this when a client
+// session detaches abruptly (the migration / crash path).
+func (m *Manager) ReleaseOwner(owner Owner) int {
+	if owner == NoOwner {
+		return 0
+	}
+	reclaimed := 0
+	for _, p := range m.pools {
+		for idx := range p.states {
+			st := &p.states[idx]
+			if Owner(st.owner.Load()) != owner {
+				continue
+			}
+			// Drop all outstanding references at once.
+			if refs := st.refs.Swap(0); refs > 0 {
+				st.owner.Store(int32(NoOwner))
+				st.gen.Add(1)
+				m.releases.Add(1)
+				p.free.TryPush(uint32(idx))
+				reclaimed++
+			}
+		}
+	}
+	return reclaimed
+}
+
+// FreeSlots reports the currently free slot count per class, smallest
+// class first.
+func (m *Manager) FreeSlots() []int {
+	out := make([]int, len(m.pools))
+	for i, p := range m.pools {
+		out[i] = p.free.Len()
+	}
+	return out
+}
+
+// Stats reports cumulative manager activity.
+type Stats struct {
+	Gets     uint64 // successful borrows
+	Failures uint64 // exhausted/oversized requests
+	Releases uint64 // slots fully recycled
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Gets:     m.gets.Load(),
+		Failures: m.fails.Load(),
+		Releases: m.releases.Load(),
+	}
+}
+
+func (m *Manager) locate(id SlotID) (*pool, int, error) {
+	pi, idx := id.pool(), id.index()
+	if pi < 0 || pi >= len(m.pools) {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadSlot, id)
+	}
+	p := m.pools[pi]
+	if idx >= len(p.states) {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadSlot, id)
+	}
+	return p, idx, nil
+}
+
+func (p *pool) slotBuf(idx int) []byte {
+	off := idx * p.slotSize
+	return p.backing[off : off+p.slotSize : off+p.slotSize]
+}

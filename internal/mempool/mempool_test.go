@@ -1,0 +1,342 @@
+package mempool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{Classes: []ClassConfig{
+		{SlotSize: 128, Slots: 8},
+		{SlotSize: 1024, Slots: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	bad := []Config{
+		{Classes: []ClassConfig{{SlotSize: 0, Slots: 1}}},
+		{Classes: []ClassConfig{{SlotSize: 64, Slots: 0}}},
+		{Classes: []ClassConfig{{SlotSize: 64, Slots: -3}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewManager(cfg); err == nil {
+			t.Errorf("case %d: want error, got nil", i)
+		}
+	}
+}
+
+func TestNewManagerDefaults(t *testing.T) {
+	m, err := NewManager(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := m.FreeSlots()
+	if len(free) != len(DefaultClasses) {
+		t.Fatalf("FreeSlots classes = %d, want %d", len(free), len(DefaultClasses))
+	}
+	for i, c := range DefaultClasses {
+		if free[i] != c.Slots {
+			t.Errorf("class %d free = %d, want %d", i, free[i], c.Slots)
+		}
+	}
+}
+
+func TestGetPicksSmallestFittingClass(t *testing.T) {
+	m := newTestManager(t)
+	id, buf, err := m.Get(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 128 {
+		t.Errorf("small request buf len = %d, want 128", len(buf))
+	}
+	if sz, _ := m.SlotSize(id); sz != 128 {
+		t.Errorf("SlotSize = %d, want 128", sz)
+	}
+
+	id2, buf2, err := m.Get(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf2) != 1024 {
+		t.Errorf("large request buf len = %d, want 1024", len(buf2))
+	}
+	if id == id2 {
+		t.Error("distinct borrows returned same slot id")
+	}
+}
+
+func TestGetTooLarge(t *testing.T) {
+	m := newTestManager(t)
+	if _, _, err := m.Get(4096, 1); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Get(4096) err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestGetExhaustionAndOverflowToLargerClass(t *testing.T) {
+	m := newTestManager(t)
+	// Drain the small class entirely.
+	ids := make([]SlotID, 0, 8)
+	for i := 0; i < 8; i++ {
+		id, _, err := m.Get(64, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Next small request overflows into the 1024 class.
+	id, buf, err := m.Get(64, 1)
+	if err != nil {
+		t.Fatalf("overflow Get: %v", err)
+	}
+	if len(buf) != 1024 {
+		t.Errorf("overflow buf len = %d, want 1024", len(buf))
+	}
+	// Drain the large class too.
+	for i := 0; i < 3; i++ {
+		if _, _, err := m.Get(64, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := m.Get(64, 1); !errors.Is(err, ErrExhausted) {
+		t.Errorf("exhausted Get err = %v, want ErrExhausted", err)
+	}
+	// Releasing brings capacity back.
+	if err := m.Release(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Get(64, 1); err != nil {
+		t.Errorf("Get after release: %v", err)
+	}
+}
+
+func TestSlotBuffersDoNotOverlap(t *testing.T) {
+	m := newTestManager(t)
+	id1, b1, _ := m.Get(128, 1)
+	id2, b2, _ := m.Get(128, 1)
+	for i := range b1 {
+		b1[i] = 0xAA
+	}
+	for i := range b2 {
+		b2[i] = 0x55
+	}
+	for i, v := range b1 {
+		if v != 0xAA {
+			t.Fatalf("slot %v byte %d clobbered", id1, i)
+		}
+	}
+	for i, v := range b2 {
+		if v != 0x55 {
+			t.Fatalf("slot %v byte %d clobbered", id2, i)
+		}
+	}
+}
+
+func TestReleaseLifecycle(t *testing.T) {
+	m := newTestManager(t)
+	id, _, err := m.Get(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(id); err == nil {
+		t.Error("double release: want error, got nil")
+	}
+	if _, err := m.Buf(id); err == nil {
+		t.Error("Buf after release: want error, got nil")
+	}
+}
+
+func TestAddRefMultiSink(t *testing.T) {
+	m := newTestManager(t)
+	id, _, err := m.Get(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate delivery to 3 sinks: 2 extra refs.
+	if err := m.AddRef(id, 2); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := m.FreeSlots()[0]
+	for i := 0; i < 2; i++ {
+		if err := m.Release(id); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.FreeSlots()[0]; got != freeBefore {
+			t.Fatalf("slot recycled early after %d releases", i+1)
+		}
+	}
+	if err := m.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FreeSlots()[0]; got != freeBefore+1 {
+		t.Errorf("slot not recycled after final release: free = %d", got)
+	}
+	if err := m.AddRef(id, 1); err == nil {
+		t.Error("AddRef on freed slot: want error, got nil")
+	}
+}
+
+func TestBadSlotIDs(t *testing.T) {
+	m := newTestManager(t)
+	for _, id := range []SlotID{NoSlot, makeSlotID(5, 0), makeSlotID(0, 99)} {
+		if err := m.Release(id); err == nil {
+			t.Errorf("Release(%v): want error", id)
+		}
+		if _, err := m.Buf(id); err == nil {
+			t.Errorf("Buf(%v): want error", id)
+		}
+	}
+}
+
+func TestReleaseOwner(t *testing.T) {
+	m := newTestManager(t)
+	var mine []SlotID
+	for i := 0; i < 3; i++ {
+		id, _, err := m.Get(64, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mine = append(mine, id)
+	}
+	other, _, err := m.Get(64, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.ReleaseOwner(42); n != 3 {
+		t.Errorf("ReleaseOwner reclaimed %d, want 3", n)
+	}
+	if n := m.ReleaseOwner(42); n != 0 {
+		t.Errorf("second ReleaseOwner reclaimed %d, want 0", n)
+	}
+	if n := m.ReleaseOwner(NoOwner); n != 0 {
+		t.Errorf("ReleaseOwner(NoOwner) reclaimed %d, want 0", n)
+	}
+	// Other owner's slot still live.
+	if _, err := m.Buf(other); err != nil {
+		t.Errorf("other owner's slot was reclaimed: %v", err)
+	}
+	// Reclaimed slots usable again.
+	for range mine {
+		if _, _, err := m.Get(64, 1); err != nil {
+			t.Fatalf("Get after ReleaseOwner: %v", err)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := newTestManager(t)
+	id, _, _ := m.Get(64, 1)
+	m.Get(64, 1)
+	m.Get(1<<20, 1) // fails
+	m.Release(id)
+	s := m.Stats()
+	if s.Gets != 2 || s.Failures != 1 || s.Releases != 1 {
+		t.Errorf("Stats = %+v, want {2 1 1}", s)
+	}
+}
+
+// TestQuickBorrowReleaseConservation: any interleaving of borrows and
+// releases conserves the total slot count.
+func TestQuickBorrowReleaseConservation(t *testing.T) {
+	prop := func(ops []bool) bool {
+		m, err := NewManager(Config{Classes: []ClassConfig{{SlotSize: 64, Slots: 16}}})
+		if err != nil {
+			return false
+		}
+		var live []SlotID
+		for _, borrow := range ops {
+			if borrow {
+				if id, _, err := m.Get(32, 1); err == nil {
+					live = append(live, id)
+				}
+			} else if len(live) > 0 {
+				id := live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := m.Release(id); err != nil {
+					return false
+				}
+			}
+		}
+		return m.FreeSlots()[0] == 16-len(live)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentGetRelease hammers the manager from many goroutines and
+// checks conservation at the end.
+func TestConcurrentGetRelease(t *testing.T) {
+	m, err := NewManager(Config{Classes: []ClassConfig{{SlotSize: 256, Slots: 64}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(owner Owner) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				id, buf, err := m.Get(100, owner)
+				if err != nil {
+					continue
+				}
+				buf[0] = byte(owner)
+				if buf[0] != byte(owner) {
+					t.Errorf("lost write on %v", id)
+					return
+				}
+				if err := m.Release(id); err != nil {
+					t.Errorf("release %v: %v", id, err)
+					return
+				}
+			}
+		}(Owner(g + 1))
+	}
+	wg.Wait()
+	if free := m.FreeSlots()[0]; free != 64 {
+		t.Errorf("free = %d after workload, want 64", free)
+	}
+}
+
+func BenchmarkGetRelease(b *testing.B) {
+	m, _ := NewManager(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id, _, err := m.Get(1024, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Release(id)
+	}
+}
+
+func TestAddRefRejectsNonPositive(t *testing.T) {
+	m := newTestManager(t)
+	id, _, err := m.Get(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRef(id, 0); err == nil {
+		t.Error("AddRef(0) accepted")
+	}
+	if err := m.AddRef(id, -2); err == nil {
+		t.Error("AddRef(-2) accepted")
+	}
+	if err := m.Release(id); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"github.com/insane-mw/insane/internal/timebase"
+)
+
+// within asserts got is within tol (fraction) of want.
+func within(t *testing.T, name string, got, want time.Duration, tol float64) {
+	t.Helper()
+	lo := time.Duration(float64(want) * (1 - tol))
+	hi := time.Duration(float64(want) * (1 + tol))
+	if got < lo || got > hi {
+		t.Errorf("%s = %v, want %v ±%.0f%%", name, got, want, tol*100)
+	}
+}
+
+// TestCalibrationLocalRTT64B pins the model to the paper's Fig. 7a values
+// (average RTT, 64 B payload, local testbed).
+func TestCalibrationLocalRTT64B(t *testing.T) {
+	cases := []struct {
+		sys  System
+		want time.Duration
+		tol  float64
+	}{
+		{SysRawDPDK, 3440 * time.Nanosecond, 0.02},
+		{SysCatnip, 4260 * time.Nanosecond, 0.02},
+		{SysInsaneFast, 4950 * time.Nanosecond, 0.02},
+		{SysUDPNonBlocking, 12580 * time.Nanosecond, 0.02},
+		{SysUDPBlocking, 13340 * time.Nanosecond, 0.02},
+		{SysCatnap, 13660 * time.Nanosecond, 0.02},
+		{SysInsaneSlow, 13600 * time.Nanosecond, 0.03},
+	}
+	for _, c := range cases {
+		got := Build(c.sys).RTT(64, Local)
+		within(t, c.sys.String()+" local RTT", got, c.want, c.tol)
+	}
+}
+
+// TestCalibrationPaperDeltas checks the overhead relations the paper
+// states in prose: INSANE fast = Catnip + ~690 ns, Catnip = raw + ~820 ns,
+// INSANE slow ≈ kernel UDP + ~1 µs RTT (500 ns per packet).
+func TestCalibrationPaperDeltas(t *testing.T) {
+	rtt := func(s System) time.Duration { return Build(s).RTT(64, Local) }
+	within(t, "INSANE fast - Catnip", rtt(SysInsaneFast)-rtt(SysCatnip), 690*time.Nanosecond, 0.15)
+	within(t, "Catnip - raw DPDK", rtt(SysCatnip)-rtt(SysRawDPDK), 820*time.Nanosecond, 0.05)
+	within(t, "INSANE slow - kernel UDP", rtt(SysInsaneSlow)-rtt(SysUDPNonBlocking), 1000*time.Nanosecond, 0.15)
+}
+
+// TestCalibrationCloudRTT64B pins the cloud testbed (Fig. 7b): the switch
+// adds 1.7 µs per traversal, the slower CPU inflates the kernel stack and
+// the INSANE runtime disproportionately, Catnip keeps its gap to raw DPDK.
+func TestCalibrationCloudRTT64B(t *testing.T) {
+	cases := []struct {
+		sys  System
+		want time.Duration
+		tol  float64
+	}{
+		{SysRawDPDK, 6550 * time.Nanosecond, 0.06},
+		{SysInsaneFast, 10430 * time.Nanosecond, 0.05},
+		{SysUDPNonBlocking, 21330 * time.Nanosecond, 0.08},
+		{SysUDPBlocking, 23270 * time.Nanosecond, 0.05},
+	}
+	for _, c := range cases {
+		got := Build(c.sys).RTT(64, Cloud)
+		within(t, c.sys.String()+" cloud RTT", got, c.want, c.tol)
+	}
+	// Catnip preserves "almost the same gap" to raw DPDK in the cloud.
+	gap := Build(SysCatnip).RTT(64, Cloud) - Build(SysRawDPDK).RTT(64, Cloud)
+	within(t, "cloud Catnip gap", gap, 900*time.Nanosecond, 0.2)
+	// INSANE slow ≈ Catnap + ~1.9 µs in the cloud (§6.2).
+	slowGap := Build(SysInsaneSlow).RTT(64, Cloud) - Build(SysCatnap).RTT(64, Cloud)
+	if slowGap < 1000*time.Nanosecond || slowGap > 2600*time.Nanosecond {
+		t.Errorf("cloud INSANE slow - Catnap = %v, want ≈1.9µs", slowGap)
+	}
+}
+
+// TestCalibrationLatencyFlatAcrossPayloads reproduces the Fig. 5
+// observation that there is "no significant difference among different
+// payload sizes" from 64 B to 1024 B.
+func TestCalibrationLatencyFlatAcrossPayloads(t *testing.T) {
+	for _, sys := range []System{SysRawDPDK, SysInsaneFast, SysInsaneSlow, SysUDPNonBlocking} {
+		p := Build(sys)
+		r64 := p.RTT(64, Local)
+		r1024 := p.RTT(1024, Local)
+		if growth := float64(r1024-r64) / float64(r64); growth > 0.15 {
+			t.Errorf("%s: RTT grows %.0f%% from 64B to 1KB, want <15%%", sys, growth*100)
+		}
+	}
+}
+
+// TestCalibrationThroughput pins the Fig. 8a shape: raw DPDK saturates the
+// NIC at 8 KB, INSANE fast peaks near 90 Gbps thanks to opportunistic
+// batching, Catnip is markedly lower (one packet at a time), and the
+// kernel-path systems (kernel UDP, Catnap, INSANE slow) cluster together
+// far below.
+func TestCalibrationThroughput(t *testing.T) {
+	thr := func(sys System, payload int) float64 {
+		return float64(Build(sys).Throughput(payload, Local)) / float64(timebase.Gbps)
+	}
+
+	if got := thr(SysRawDPDK, 8192); got < 95 {
+		t.Errorf("raw DPDK @8KB = %.1f Gbps, want ≥95 (NIC saturation)", got)
+	}
+	if got := thr(SysInsaneFast, 8192); got < 80 || got > 95 {
+		t.Errorf("INSANE fast @8KB = %.1f Gbps, want ≈90", got)
+	}
+	if got := thr(SysCatnip, 8192); got < 40 || got > 65 {
+		t.Errorf("Catnip @8KB = %.1f Gbps, want ≈50 (no batching)", got)
+	}
+	if got := thr(SysInsaneFast, 1024); got < 23 || got > 29 {
+		t.Errorf("INSANE fast @1KB = %.1f Gbps, want ≈26 (Fig 8b single sink)", got)
+	}
+	// Kernel-path systems cluster: all within 25% of each other, all <10.
+	k := thr(SysUDPNonBlocking, 1024)
+	for _, sys := range []System{SysCatnap, SysInsaneSlow} {
+		got := thr(sys, 1024)
+		if got > 10 || got < k*0.75 || got > k*1.25 {
+			t.Errorf("%s @1KB = %.1f Gbps, want ≈ kernel UDP (%.1f)", sys, got, k)
+		}
+	}
+	// Ordering at 8KB: raw > INSANE fast > Catnip > kernel-path.
+	if !(thr(SysRawDPDK, 8192) > thr(SysInsaneFast, 8192) &&
+		thr(SysInsaneFast, 8192) > thr(SysCatnip, 8192) &&
+		thr(SysCatnip, 8192) > thr(SysUDPNonBlocking, 8192)) {
+		t.Error("throughput ordering at 8KB violated")
+	}
+}
+
+// TestCalibrationMultiSink pins Fig. 8b: per-sink throughput at 1 KB drops
+// ~8% at 6 sinks and ~39% at 8 sinks.
+func TestCalibrationMultiSink(t *testing.T) {
+	base := MultiSinkPerSinkThroughput(SysInsaneFast, 1, 1024, Local)
+	drop := func(n int) float64 {
+		got := MultiSinkPerSinkThroughput(SysInsaneFast, n, 1024, Local)
+		return 1 - float64(got)/float64(base)
+	}
+	if d := drop(6); d < 0.04 || d > 0.12 {
+		t.Errorf("6-sink drop = %.0f%%, want ≈8%%", d*100)
+	}
+	if d := drop(8); d < 0.33 || d > 0.45 {
+		t.Errorf("8-sink drop = %.0f%%, want ≈39%%", d*100)
+	}
+	// Monotone degradation.
+	prev := base
+	for n := 2; n <= 8; n++ {
+		got := MultiSinkPerSinkThroughput(SysInsaneFast, n, 1024, Local)
+		if got > prev {
+			t.Errorf("per-sink throughput increased from %d to %d sinks", n-1, n)
+		}
+		prev = got
+	}
+}
+
+// TestCalibrationTechOrdering checks the QoS-relevant ordering of §5.2:
+// RDMA beats DPDK beats XDP beats kernel UDP on latency under INSANE.
+func TestCalibrationTechOrdering(t *testing.T) {
+	rtt := func(s System) time.Duration { return Build(s).RTT(64, Local) }
+	if !(rtt(SysInsaneRDMA) < rtt(SysInsaneFast) &&
+		rtt(SysInsaneFast) < rtt(SysInsaneXDP) &&
+		rtt(SysInsaneXDP) < rtt(SysInsaneSlow)) {
+		t.Errorf("tech ordering violated: rdma=%v dpdk=%v xdp=%v udp=%v",
+			rtt(SysInsaneRDMA), rtt(SysInsaneFast), rtt(SysInsaneXDP), rtt(SysInsaneSlow))
+	}
+}
+
+// TestBreakdownConsistency: the Fig. 6 stage breakdown must sum to the
+// one-way latency, and the cloud network share must grow by the switch.
+func TestBreakdownConsistency(t *testing.T) {
+	for _, tb := range Testbeds() {
+		p := Build(SysInsaneFast)
+		bd := p.Breakdown(64, tb)
+		var sum time.Duration
+		for _, d := range bd {
+			sum += d
+		}
+		if want := p.OneWayLatency(64, tb); sum != want {
+			t.Errorf("%s: breakdown sum %v != one-way %v", tb.Name, sum, want)
+		}
+	}
+	local := Build(SysInsaneFast).Breakdown(64, Local)
+	cloud := Build(SysInsaneFast).Breakdown(64, Cloud)
+	if cloud[CatNetwork]-local[CatNetwork] != 1700*time.Nanosecond {
+		t.Errorf("cloud network delta = %v, want 1.7µs switch",
+			cloud[CatNetwork]-local[CatNetwork])
+	}
+	// Send+receive stages also inflate on the slower cloud CPU (Fig. 6).
+	if cloud[CatSend] <= local[CatSend] || cloud[CatRecv] <= local[CatRecv] {
+		t.Error("cloud send/recv stages did not inflate")
+	}
+}
+
+func TestTable1Matrix(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table1 rows = %d, want 4", len(rows))
+	}
+	if i := Info(TechRDMA); !i.DedicatedHW || i.CPU != CPUOffloaded || !i.ZeroCopy {
+		t.Errorf("RDMA info wrong: %+v", i)
+	}
+	if i := Info(TechKernelUDP); i.ZeroCopy || i.DedicatedHW {
+		t.Errorf("kernel info wrong: %+v", i)
+	}
+	if i := Info(TechDPDK); i.CPU != CPUBusyPoll || !i.NeedsUserStack {
+		t.Errorf("dpdk info wrong: %+v", i)
+	}
+	if i := Info(TechXDP); i.KernelIntegration != "in-kernel" {
+		t.Errorf("xdp info wrong: %+v", i)
+	}
+	if got := Info(Tech(99)); got.API != "" {
+		t.Errorf("unknown tech info = %+v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TechDPDK.String() != "dpdk" || Tech(99).String() != "unknown" {
+		t.Error("Tech.String wrong")
+	}
+	if CPUBusyPoll.String() != "busy polling" || CPUUsage(99).String() != "unknown" {
+		t.Error("CPUUsage.String wrong")
+	}
+	if SysInsaneFast.String() != "INSANE fast" || System(99).String() != "unknown" {
+		t.Error("System.String wrong")
+	}
+	if CatSend.String() != "send" || Category(99).String() != "unknown" {
+		t.Error("Category.String wrong")
+	}
+}
+
+func TestTestbedScale(t *testing.T) {
+	d := 100 * time.Nanosecond
+	if Cloud.Scale(ScaleNone, d) != d {
+		t.Error("hardware costs must not scale")
+	}
+	if Cloud.Scale(ScaleKernel, d) != 160*time.Nanosecond {
+		t.Errorf("kernel scale = %v", Cloud.Scale(ScaleKernel, d))
+	}
+	var zero Testbed
+	if zero.Scale(ScaleRuntime, d) != d {
+		t.Error("zero factors must behave as 1.0")
+	}
+}
+
+func TestWireMath(t *testing.T) {
+	// 1000-byte frame at 100 Gbps: (1000+24)*8/100e9 = 81.92 ns → 81ns.
+	occ := Local.WireOccupancy(1000)
+	if occ < 80*time.Nanosecond || occ > 82*time.Nanosecond {
+		t.Errorf("occupancy = %v, want ≈81.9ns", occ)
+	}
+	lat := Cloud.WireLatency(1000)
+	want := occ + Cloud.PropDelay + Cloud.SwitchLatency
+	if lat != want {
+		t.Errorf("cloud wire latency = %v, want %v", lat, want)
+	}
+}
+
+func TestUnknownSystemPipeline(t *testing.T) {
+	p := Build(System(99))
+	if p.RTT(64, Local) != 0 || p.Throughput(64, Local) != 0 {
+		t.Error("unknown system should have zero cost model")
+	}
+}

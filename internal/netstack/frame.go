@@ -1,0 +1,166 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header sizes and totals for the UDP/IPv4/Ethernet encapsulation the
+// engine produces.
+const (
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20
+	UDPHeaderLen  = 8
+	// HeadersLen is the total overhead prepended to every payload.
+	HeadersLen = EthHeaderLen + IPv4HeaderLen + UDPHeaderLen // 42
+
+	// StandardMTU is the classic Ethernet maximum IP packet size.
+	StandardMTU = 1500
+	// JumboMTU is the jumbo-frame maximum the evaluation enables for
+	// payloads bigger than 1.5 KB (§6.2).
+	JumboMTU = 9000
+
+	// WireOverhead accounts for the preamble, SFD, FCS and inter-frame
+	// gap that occupy the wire but never reach software (7+1+4+12).
+	WireOverhead = 24
+
+	etherTypeIPv4 = 0x0800
+	protoUDP      = 17
+	defaultTTL    = 64
+)
+
+// Decode errors.
+var (
+	ErrFrameTooShort   = errors.New("netstack: frame too short")
+	ErrNotIPv4         = errors.New("netstack: not an IPv4 frame")
+	ErrNotUDP          = errors.New("netstack: not a UDP packet")
+	ErrBadChecksum     = errors.New("netstack: IPv4 header checksum mismatch")
+	ErrLengthMismatch  = errors.New("netstack: length fields disagree with frame size")
+	ErrPayloadTooLarge = errors.New("netstack: payload exceeds MTU")
+)
+
+// FrameMeta carries the addressing of one UDP-over-Ethernet frame.
+type FrameMeta struct {
+	SrcMAC MAC
+	DstMAC MAC
+	Src    Endpoint
+	Dst    Endpoint
+	// TrafficClass is the IPv4 DSCP value (high 6 bits of TOS). The TSN
+	// scheduler maps it to an 802.1Qbv gate (§5.3).
+	TrafficClass uint8
+}
+
+// MaxPayload returns the largest UDP payload that fits a frame under the
+// given MTU.
+func MaxPayload(mtu int) int { return mtu - IPv4HeaderLen - UDPHeaderLen }
+
+// FrameLen returns the full Ethernet frame length for a UDP payload of n
+// bytes (excluding WireOverhead).
+func FrameLen(n int) int { return HeadersLen + n }
+
+// EncodeUDP writes Ethernet+IPv4+UDP headers for a payload of payloadLen
+// bytes into buf, assuming the payload is (or will be) at
+// buf[HeadersLen : HeadersLen+payloadLen]. It returns the total frame
+// length. The buffer must have room; this is guaranteed by the memory
+// manager's slot classes. The layout lets a zero-copy datapath reserve
+// header room in the same slot the application wrote into.
+func EncodeUDP(buf []byte, meta FrameMeta, payloadLen int, mtu int) (int, error) {
+	if payloadLen < 0 || payloadLen > MaxPayload(mtu) {
+		return 0, fmt.Errorf("%w: %d > %d (mtu %d)", ErrPayloadTooLarge, payloadLen, MaxPayload(mtu), mtu)
+	}
+	total := FrameLen(payloadLen)
+	if len(buf) < total {
+		return 0, fmt.Errorf("netstack: buffer %d too small for frame %d", len(buf), total)
+	}
+
+	// Ethernet.
+	copy(buf[0:6], meta.DstMAC[:])
+	copy(buf[6:12], meta.SrcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], etherTypeIPv4)
+
+	// IPv4.
+	ip := buf[EthHeaderLen : EthHeaderLen+IPv4HeaderLen]
+	ipLen := IPv4HeaderLen + UDPHeaderLen + payloadLen
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = meta.TrafficClass << 2
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	binary.BigEndian.PutUint16(ip[4:6], 0)      // identification: no fragmentation
+	binary.BigEndian.PutUint16(ip[6:8], 0x4000) // DF
+	ip[8] = defaultTTL
+	ip[9] = protoUDP
+	ip[10], ip[11] = 0, 0 // checksum placeholder
+	copy(ip[12:16], meta.Src.IP[:])
+	copy(ip[16:20], meta.Dst.IP[:])
+	cks := internetChecksum(ip)
+	binary.BigEndian.PutUint16(ip[10:12], cks)
+
+	// UDP.
+	udp := buf[EthHeaderLen+IPv4HeaderLen : HeadersLen]
+	binary.BigEndian.PutUint16(udp[0:2], meta.Src.Port)
+	binary.BigEndian.PutUint16(udp[2:4], meta.Dst.Port)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(UDPHeaderLen+payloadLen))
+	// UDP checksum is legitimately optional over IPv4; modern NICs
+	// offload it, so the engine leaves it zero like DPDK test apps do.
+	binary.BigEndian.PutUint16(udp[6:8], 0)
+
+	return total, nil
+}
+
+// DecodeUDP validates a frame and returns its metadata and a payload view
+// aliasing frame's backing array (zero-copy).
+func DecodeUDP(frame []byte) (FrameMeta, []byte, error) {
+	var meta FrameMeta
+	if len(frame) < HeadersLen {
+		return meta, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, len(frame))
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != etherTypeIPv4 {
+		return meta, nil, ErrNotIPv4
+	}
+	copy(meta.DstMAC[:], frame[0:6])
+	copy(meta.SrcMAC[:], frame[6:12])
+
+	ip := frame[EthHeaderLen:]
+	if ip[0] != 0x45 {
+		return meta, nil, fmt.Errorf("%w: version/IHL 0x%02x", ErrNotIPv4, ip[0])
+	}
+	if ip[9] != protoUDP {
+		return meta, nil, fmt.Errorf("%w: protocol %d", ErrNotUDP, ip[9])
+	}
+	if internetChecksum(ip[:IPv4HeaderLen]) != 0 {
+		return meta, nil, ErrBadChecksum
+	}
+	meta.TrafficClass = ip[1] >> 2
+	ipLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if EthHeaderLen+ipLen > len(frame) || ipLen < IPv4HeaderLen+UDPHeaderLen {
+		return meta, nil, fmt.Errorf("%w: ip len %d, frame %d", ErrLengthMismatch, ipLen, len(frame))
+	}
+	copy(meta.Src.IP[:], ip[12:16])
+	copy(meta.Dst.IP[:], ip[16:20])
+
+	udp := frame[EthHeaderLen+IPv4HeaderLen:]
+	meta.Src.Port = binary.BigEndian.Uint16(udp[0:2])
+	meta.Dst.Port = binary.BigEndian.Uint16(udp[2:4])
+	udpLen := int(binary.BigEndian.Uint16(udp[4:6]))
+	if udpLen != ipLen-IPv4HeaderLen {
+		return meta, nil, fmt.Errorf("%w: udp len %d, ip len %d", ErrLengthMismatch, udpLen, ipLen)
+	}
+	payload := frame[HeadersLen : EthHeaderLen+ipLen]
+	return meta, payload, nil
+}
+
+// internetChecksum computes the RFC 1071 ones-complement checksum of b.
+// Computing it over a header whose checksum field is filled yields zero.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,108 @@
+package ringbuf
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// mpmcCell is one slot of the MPMC ring. seq encodes the slot state:
+// producers may write when seq == position, consumers may read when
+// seq == position+1 (Vyukov's bounded MPMC algorithm).
+type mpmcCell[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// MPMC is a bounded multi-producer/multi-consumer lock-free ring.
+// Any number of goroutines may push and pop concurrently.
+type MPMC[T any] struct {
+	cells []mpmcCell[T]
+	mask  uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // next position to pop
+	_    cacheLinePad
+	tail atomic.Uint64 // next position to push
+	_    cacheLinePad
+}
+
+// NewMPMC returns an MPMC ring holding up to capacity elements.
+// Capacity is rounded up to the next power of two and must be at least 1.
+func NewMPMC[T any](capacity int) (*MPMC[T], error) {
+	n, err := ceilPow2(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("ringbuf: %w", err)
+	}
+	q := &MPMC[T]{cells: make([]mpmcCell[T], n), mask: n - 1}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q, nil
+}
+
+// TryPush appends v and reports whether there was room.
+func (q *MPMC[T]) TryPush(v T) bool {
+	pos := q.tail.Load()
+	for {
+		cell := &q.cells[pos&q.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos:
+			// Slot free at this position: claim it.
+			if q.tail.CompareAndSwap(pos, pos+1) {
+				cell.val = v
+				cell.seq.Store(pos + 1) // publish
+				return true
+			}
+			pos = q.tail.Load()
+		case seq < pos:
+			// The slot one lap behind has not been consumed: full.
+			return false
+		default:
+			// Another producer claimed pos; reload and retry.
+			pos = q.tail.Load()
+		}
+	}
+}
+
+// TryPop removes and returns the oldest element, if any.
+func (q *MPMC[T]) TryPop() (T, bool) {
+	var zero T
+	pos := q.head.Load()
+	for {
+		cell := &q.cells[pos&q.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos+1:
+			// Published at this position: claim it.
+			if q.head.CompareAndSwap(pos, pos+1) {
+				v := cell.val
+				cell.val = zero
+				cell.seq.Store(pos + q.mask + 1) // free for next lap
+				return v, true
+			}
+			pos = q.head.Load()
+		case seq <= pos:
+			// Not yet published: empty.
+			return zero, false
+		default:
+			// Another consumer claimed pos; reload and retry.
+			pos = q.head.Load()
+		}
+	}
+}
+
+// Len returns a snapshot of the number of buffered elements.
+func (q *MPMC[T]) Len() int {
+	d := int64(q.tail.Load()) - int64(q.head.Load())
+	if d < 0 {
+		d = 0
+	}
+	if d > int64(len(q.cells)) {
+		d = int64(len(q.cells))
+	}
+	return int(d)
+}
+
+// Cap returns the ring capacity.
+func (q *MPMC[T]) Cap() int { return len(q.cells) }

@@ -1,0 +1,216 @@
+package ringbuf
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMPMCInvalidCapacity(t *testing.T) {
+	if _, err := NewMPMC[int](0); err == nil {
+		t.Error("NewMPMC(0): want error, got nil")
+	}
+}
+
+func TestMPMCPushPopOrderSingleThread(t *testing.T) {
+	q, err := NewMPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("TryPush(%d) failed", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Error("TryPush succeeded on full ring")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("TryPop = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Error("TryPop succeeded on empty ring")
+	}
+}
+
+func TestMPMCWrapAround(t *testing.T) {
+	q, err := NewMPMC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lap := 0; lap < 1000; lap++ {
+		if !q.TryPush(lap) {
+			t.Fatalf("lap %d: push failed", lap)
+		}
+		v, ok := q.TryPop()
+		if !ok || v != lap {
+			t.Fatalf("lap %d: pop = %d,%v", lap, v, ok)
+		}
+	}
+}
+
+// TestMPMCConcurrentExactlyOnce runs multiple producers and consumers and
+// verifies no element is lost or duplicated.
+func TestMPMCConcurrentExactlyOnce(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 2_000
+	)
+	q, err := NewMPMC[int](256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for i := 0; i < perProd; i++ {
+				v := p*perProd + i
+				for !q.TryPush(v) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]int, producers*perProd)
+	var consWG sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			local := make(map[int]int)
+			for {
+				v, ok := q.TryPop()
+				if ok {
+					local[v]++
+					continue
+				}
+				runtime.Gosched()
+				select {
+				case <-done:
+					// Final drain after producers stop.
+					for {
+						v, ok := q.TryPop()
+						if !ok {
+							break
+						}
+						local[v]++
+					}
+					mu.Lock()
+					for k, n := range local {
+						seen[k] += n
+					}
+					mu.Unlock()
+					return
+				default:
+				}
+			}
+		}()
+	}
+	prodWG.Wait()
+	close(done)
+	consWG.Wait()
+
+	if len(seen) != producers*perProd {
+		t.Fatalf("saw %d distinct values, want %d", len(seen), producers*perProd)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d seen %d times", k, n)
+		}
+	}
+}
+
+// TestMPMCPerProducerOrder: with concurrent consumers, values from a single
+// producer must still be observed in that producer's push order.
+func TestMPMCPerProducerOrder(t *testing.T) {
+	const perProd = 2_000
+	q, err := NewMPMC[[2]int](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				for !q.TryPush([2]int{p, i}) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	lastSeen := map[int]int{0: -1, 1: -1}
+	got := 0
+	for got < 2*perProd {
+		v, ok := q.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		p, i := v[0], v[1]
+		if i <= lastSeen[p] {
+			t.Fatalf("producer %d: value %d after %d", p, i, lastSeen[p])
+		}
+		lastSeen[p] = i
+		got++
+	}
+	wg.Wait()
+}
+
+func TestMPMCQuickFIFO(t *testing.T) {
+	prop := func(vals []uint16) bool {
+		q, err := NewMPMC[uint16](32)
+		if err != nil {
+			return false
+		}
+		pushed := 0
+		for _, v := range vals {
+			if !q.TryPush(v) {
+				break
+			}
+			pushed++
+		}
+		for i := 0; i < pushed; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != vals[i] {
+				return false
+			}
+		}
+		_, ok := q.TryPop()
+		return !ok
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMPMCPushPop(b *testing.B) {
+	q, _ := NewMPMC[uint64](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.TryPush(uint64(i))
+		q.TryPop()
+	}
+}
+
+func BenchmarkMPMCContended(b *testing.B) {
+	q, _ := NewMPMC[uint64](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !q.TryPush(1) {
+				q.TryPop()
+			}
+		}
+	})
+}

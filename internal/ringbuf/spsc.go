@@ -1,0 +1,122 @@
+// Package ringbuf implements the bounded lock-free rings that carry tokens
+// between the INSANE client library and the runtime, mirroring the
+// shared-memory queues of the paper's prototype (§5.3: "state-of-the-art
+// lock-free queues" in the style of the DPDK ring library and BBQ).
+//
+// Two variants are provided:
+//
+//   - SPSC: a single-producer/single-consumer ring used for the per-session
+//     TX token queue and the per-sink RX token queue, where each end is
+//     owned by exactly one goroutine.
+//   - MPMC: a Vyukov-style bounded multi-producer/multi-consumer ring used
+//     by the memory manager's free-slot list, where many sessions release
+//     and acquire slots concurrently.
+//
+// Both are fixed capacity (a power of two), never allocate after
+// construction, and never block: full/empty conditions are reported to the
+// caller, which decides whether to retry, back off, or drop.
+package ringbuf
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// cacheLinePad separates hot atomics to avoid false sharing between the
+// producer and consumer cache lines.
+type cacheLinePad [64]byte
+
+// SPSC is a bounded single-producer/single-consumer lock-free ring.
+// Exactly one goroutine may call Push/TryPush and exactly one may call
+// Pop/TryPop; under that contract all operations are wait-free.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // next slot to pop (owned by consumer)
+	_    cacheLinePad
+	tail atomic.Uint64 // next slot to push (owned by producer)
+	_    cacheLinePad
+}
+
+// NewSPSC returns an SPSC ring holding up to capacity elements.
+// Capacity is rounded up to the next power of two and must be at least 1.
+func NewSPSC[T any](capacity int) (*SPSC[T], error) {
+	n, err := ceilPow2(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("ringbuf: %w", err)
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: n - 1}, nil
+}
+
+// TryPush appends v and reports whether there was room.
+func (r *SPSC[T]) TryPush(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		return false // full
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// TryPop removes and returns the oldest element, if any.
+func (r *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return zero, false // empty
+	}
+	v := r.buf[head&r.mask]
+	r.buf[head&r.mask] = zero // release references for GC
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// PopBatch pops up to len(dst) elements into dst and returns the count.
+// Batched draining is what lets the runtime's polling threads amortize
+// per-wakeup costs (the paper's opportunistic batching, §6.2).
+func (r *SPSC[T]) PopBatch(dst []T) int {
+	var zero T
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(len(dst))
+	if avail < n {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		idx := (head + i) & r.mask
+		dst[i] = r.buf[idx]
+		r.buf[idx] = zero
+	}
+	if n > 0 {
+		r.head.Store(head + n)
+	}
+	return int(n)
+}
+
+// Len returns the number of buffered elements. The result is a snapshot and
+// may be stale by the time it is observed.
+func (r *SPSC[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Cap returns the ring capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Empty reports whether the ring appeared empty at the time of the call.
+func (r *SPSC[T]) Empty() bool { return r.Len() == 0 }
+
+// ceilPow2 rounds n up to a power of two, validating the range.
+func ceilPow2(n int) (uint64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("capacity %d must be >= 1", n)
+	}
+	if n > 1<<30 {
+		return 0, fmt.Errorf("capacity %d too large", n)
+	}
+	p := uint64(1)
+	for p < uint64(n) {
+		p <<= 1
+	}
+	return p, nil
+}

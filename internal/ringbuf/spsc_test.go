@@ -1,0 +1,203 @@
+package ringbuf
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSPSCInvalidCapacity(t *testing.T) {
+	for _, c := range []int{0, -1, 1 << 31} {
+		if _, err := NewSPSC[int](c); err == nil {
+			t.Errorf("NewSPSC(%d): want error, got nil", c)
+		}
+	}
+}
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {1000, 1024},
+	}
+	for _, c := range cases {
+		r, err := NewSPSC[int](c.in)
+		if err != nil {
+			t.Fatalf("NewSPSC(%d): %v", c.in, err)
+		}
+		if r.Cap() != c.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", c.in, r.Cap(), c.want)
+		}
+	}
+}
+
+func TestSPSCPushPopOrder(t *testing.T) {
+	r, err := NewSPSC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("TryPush(%d) failed on non-full ring", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Error("TryPush succeeded on full ring")
+	}
+	if got := r.Len(); got != 8 {
+		t.Errorf("Len() = %d, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("TryPop() = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Error("TryPop succeeded on empty ring")
+	}
+	if !r.Empty() {
+		t.Error("Empty() = false on drained ring")
+	}
+}
+
+func TestSPSCWrapAround(t *testing.T) {
+	r, err := NewSPSC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle many laps to exercise index wrapping.
+	next := 0
+	for lap := 0; lap < 100; lap++ {
+		for i := 0; i < 3; i++ {
+			if !r.TryPush(next + i) {
+				t.Fatalf("lap %d: push failed", lap)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.TryPop()
+			if !ok || v != next+i {
+				t.Fatalf("lap %d: pop = %d,%v want %d,true", lap, v, ok, next+i)
+			}
+		}
+		next += 3
+	}
+}
+
+func TestSPSCPopBatch(t *testing.T) {
+	r, err := NewSPSC[int](16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.TryPush(i)
+	}
+	dst := make([]int, 4)
+	if n := r.PopBatch(dst); n != 4 {
+		t.Fatalf("PopBatch = %d, want 4", n)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Errorf("dst[%d] = %d, want %d", i, v, i)
+		}
+	}
+	big := make([]int, 32)
+	if n := r.PopBatch(big); n != 6 {
+		t.Fatalf("PopBatch on remainder = %d, want 6", n)
+	}
+	for i := 0; i < 6; i++ {
+		if big[i] != 4+i {
+			t.Errorf("big[%d] = %d, want %d", i, big[i], 4+i)
+		}
+	}
+	if n := r.PopBatch(big); n != 0 {
+		t.Errorf("PopBatch on empty = %d, want 0", n)
+	}
+}
+
+func TestSPSCZeroesPoppedSlots(t *testing.T) {
+	r, err := NewSPSC[*int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 7
+	r.TryPush(&v)
+	r.TryPop()
+	// Internal buffer slot must be nil so the pointer is collectable.
+	if r.buf[0] != nil {
+		t.Error("popped slot still references the element")
+	}
+}
+
+// TestSPSCConcurrent drives one producer against one consumer and asserts
+// that every element arrives exactly once and in order.
+func TestSPSCConcurrent(t *testing.T) {
+	const total = 50_000
+	r, err := NewSPSC[int](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			if r.TryPush(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for want := 0; want < total; {
+		if v, ok := r.TryPop(); ok {
+			if v != want {
+				t.Fatalf("out of order: got %d, want %d", v, want)
+			}
+			want++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	if !r.Empty() {
+		t.Error("ring not empty after drain")
+	}
+}
+
+// TestSPSCQuickFIFO property: any sequence of pushes followed by pops
+// returns the pushed prefix in order.
+func TestSPSCQuickFIFO(t *testing.T) {
+	prop := func(vals []uint32) bool {
+		r, err := NewSPSC[uint32](64)
+		if err != nil {
+			return false
+		}
+		pushed := 0
+		for _, v := range vals {
+			if !r.TryPush(v) {
+				break
+			}
+			pushed++
+		}
+		for i := 0; i < pushed; i++ {
+			v, ok := r.TryPop()
+			if !ok || v != vals[i] {
+				return false
+			}
+		}
+		_, ok := r.TryPop()
+		return !ok
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSPSCPushPop(b *testing.B) {
+	r, _ := NewSPSC[uint64](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.TryPush(uint64(i))
+		r.TryPop()
+	}
+}

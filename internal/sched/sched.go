@@ -1,0 +1,256 @@
+// Package sched implements INSANE's packet schedulers (§5.3): the default
+// FIFO strategy, which forwards packets "as soon as the user code emits
+// them", and a Time-Sensitive Networking scheduler implementing the IEEE
+// 802.1Qbv time-aware shaper for streams marked time-sensitive.
+//
+// The 802.1Qbv shaper divides time into a repeating cycle described by a
+// gate control list (GCL): each entry opens a subset of the eight traffic
+// classes for a slice of the cycle. A packet may only leave while its
+// class's gate is open, which bounds the interference lower-priority
+// traffic can impose on a time-critical flow — the deterministic behaviour
+// the paper targets for edge soft real-time applications.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/timebase"
+)
+
+// NumClasses is the number of 802.1Qbv traffic classes.
+const NumClasses = 8
+
+// Scheduler orders outgoing packets. Implementations are used by exactly
+// one polling thread and need not be safe for concurrent use (§5.3: each
+// datapath is driven by one thread).
+type Scheduler interface {
+	// Enqueue accepts a packet for transmission at virtual time now
+	// (used to account gate waits; FIFO ignores it).
+	Enqueue(p *datapath.Packet, now timebase.VTime)
+	// Dequeue fills dst with packets eligible for transmission at
+	// virtual time now and returns how many were written.
+	Dequeue(dst []*datapath.Packet, now timebase.VTime) int
+	// Pending returns the number of queued packets.
+	Pending() int
+	// NextEvent returns the next virtual time at which more packets may
+	// become eligible (gate opening), or zero when nothing is queued or
+	// everything queued is already eligible.
+	NextEvent(now timebase.VTime) timebase.VTime
+}
+
+// FIFO is the default scheduler: strict arrival order, always eligible.
+type FIFO struct {
+	q []*datapath.Packet
+}
+
+var _ Scheduler = (*FIFO)(nil)
+
+// NewFIFO returns an empty FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Enqueue appends the packet.
+func (f *FIFO) Enqueue(p *datapath.Packet, _ timebase.VTime) { f.q = append(f.q, p) }
+
+// Dequeue pops up to len(dst) packets in arrival order.
+func (f *FIFO) Dequeue(dst []*datapath.Packet, _ timebase.VTime) int {
+	n := copy(dst, f.q)
+	remaining := copy(f.q, f.q[n:])
+	for i := remaining; i < len(f.q); i++ {
+		f.q[i] = nil
+	}
+	f.q = f.q[:remaining]
+	return n
+}
+
+// Pending returns the queue length.
+func (f *FIFO) Pending() int { return len(f.q) }
+
+// NextEvent always returns zero: FIFO packets are immediately eligible.
+func (f *FIFO) NextEvent(timebase.VTime) timebase.VTime { return 0 }
+
+// GCLEntry is one slice of the 802.1Qbv cycle.
+type GCLEntry struct {
+	// Duration is the length of the slice.
+	Duration time.Duration
+	// Gates is a bitmask of open traffic classes (bit i = class i).
+	Gates uint8
+}
+
+// GCL is a gate control list: a full cycle of gate states.
+type GCL []GCLEntry
+
+// Validate checks that the list describes a usable cycle.
+func (g GCL) Validate() error {
+	if len(g) == 0 {
+		return fmt.Errorf("sched: empty gate control list")
+	}
+	for i, e := range g {
+		if e.Duration <= 0 {
+			return fmt.Errorf("sched: GCL entry %d has non-positive duration", i)
+		}
+	}
+	var anyOpen uint8
+	for _, e := range g {
+		anyOpen |= e.Gates
+	}
+	if anyOpen == 0 {
+		return fmt.Errorf("sched: no gate ever opens")
+	}
+	return nil
+}
+
+// Cycle returns the total cycle duration.
+func (g GCL) Cycle() time.Duration {
+	var d time.Duration
+	for _, e := range g {
+		d += e.Duration
+	}
+	return d
+}
+
+// DefaultGCL returns a two-slice cycle commonly used in industrial TSN
+// profiles: a protected window for class 7 (time-critical traffic)
+// followed by an open window for everything else. Cycle length follows the
+// typical 802.1Qbv isochronous cycle of industrial deployments.
+func DefaultGCL() GCL {
+	return GCL{
+		{Duration: 50 * time.Microsecond, Gates: 1 << 7},
+		{Duration: 200 * time.Microsecond, Gates: 0x7F},
+	}
+}
+
+// tasEntry is one queued packet with its enqueue time, so the gate wait
+// can be charged to the packet's virtual clock on release.
+type tasEntry struct {
+	pkt *datapath.Packet
+	at  timebase.VTime
+}
+
+// TAS is the IEEE 802.1Qbv time-aware shaper: one FIFO queue per traffic
+// class, gated by the cycle position, with strict priority (highest class
+// first) among simultaneously open gates.
+type TAS struct {
+	gcl    GCL
+	cycle  time.Duration
+	queues [NumClasses][]tasEntry
+	count  int
+}
+
+var _ Scheduler = (*TAS)(nil)
+
+// NewTAS returns a shaper driven by the given gate control list.
+func NewTAS(gcl GCL) (*TAS, error) {
+	if err := gcl.Validate(); err != nil {
+		return nil, err
+	}
+	return &TAS{gcl: gcl, cycle: gcl.Cycle()}, nil
+}
+
+// Enqueue files the packet under its traffic class, recording when it
+// arrived on the scheduler's clock.
+func (t *TAS) Enqueue(p *datapath.Packet, now timebase.VTime) {
+	class := p.Class
+	if class >= NumClasses {
+		class = NumClasses - 1
+	}
+	t.queues[class] = append(t.queues[class], tasEntry{pkt: p, at: now})
+	t.count++
+}
+
+// gatesAt returns the open-gate mask at virtual time now.
+func (t *TAS) gatesAt(now timebase.VTime) uint8 {
+	pos := time.Duration(now) % t.cycle
+	for _, e := range t.gcl {
+		if pos < e.Duration {
+			return e.Gates
+		}
+		pos -= e.Duration
+	}
+	return 0 // unreachable: pos < cycle by construction
+}
+
+// Dequeue drains eligible packets: only classes whose gate is open at now,
+// highest class first. A dequeued packet that had to wait for its gate
+// carries the wait (now minus its enqueue time, both on the scheduler's
+// clock) as added virtual latency.
+func (t *TAS) Dequeue(dst []*datapath.Packet, now timebase.VTime) int {
+	if t.count == 0 || len(dst) == 0 {
+		return 0
+	}
+	gates := t.gatesAt(now)
+	n := 0
+	for class := NumClasses - 1; class >= 0 && n < len(dst); class-- {
+		if gates&(1<<uint(class)) == 0 {
+			continue
+		}
+		q := t.queues[class]
+		take := len(q)
+		if take > len(dst)-n {
+			take = len(dst) - n
+		}
+		for i := 0; i < take; i++ {
+			e := q[i]
+			if wait := now.Sub(e.at); wait > 0 {
+				e.pkt.VTime = e.pkt.VTime.Add(wait)
+				e.pkt.Breakdown.Send += wait
+			}
+			dst[n] = e.pkt
+			n++
+		}
+		remaining := copy(q, q[take:])
+		for i := remaining; i < len(q); i++ {
+			q[i] = tasEntry{}
+		}
+		t.queues[class] = q[:remaining]
+		t.count -= take
+	}
+	return n
+}
+
+// Pending returns the total queued packets across classes.
+func (t *TAS) Pending() int { return t.count }
+
+// NextEvent returns the virtual time of the next gate change that could
+// release queued packets, or zero when the queue is empty or some queued
+// class is already open.
+func (t *TAS) NextEvent(now timebase.VTime) timebase.VTime {
+	if t.count == 0 {
+		return 0
+	}
+	var queued uint8
+	for class := range t.queues {
+		if len(t.queues[class]) > 0 {
+			queued |= 1 << uint(class)
+		}
+	}
+	if t.gatesAt(now)&queued != 0 {
+		return 0 // something is eligible right now
+	}
+	// Walk entry boundaries forward from the current cycle position until
+	// an entry opens a queued class.
+	pos := time.Duration(now) % t.cycle
+	idx, off := t.entryAt(pos)
+	elapsed := t.gcl[idx].Duration - off // time to the end of this entry
+	for i := 1; i <= len(t.gcl); i++ {
+		e := t.gcl[(idx+i)%len(t.gcl)]
+		if e.Gates&queued != 0 {
+			return now.Add(elapsed)
+		}
+		elapsed += e.Duration
+	}
+	return 0 // no gate ever opens for queued classes (prevented by Validate)
+}
+
+// entryAt locates the GCL entry covering cycle position pos, returning its
+// index and the offset within it.
+func (t *TAS) entryAt(pos time.Duration) (int, time.Duration) {
+	for i, e := range t.gcl {
+		if pos < e.Duration {
+			return i, pos
+		}
+		pos -= e.Duration
+	}
+	return len(t.gcl) - 1, t.gcl[len(t.gcl)-1].Duration
+}

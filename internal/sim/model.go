@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/insane-mw/insane/internal/model"
+)
+
+// StagesFor converts a calibrated system pipeline (internal/model) into
+// simulation stages for a given payload size: non-wire stages become CPU
+// servers with the pipeline's per-burst occupancy, the wire becomes a
+// serialization server plus a pure propagation/switch delay, and
+// latency-only waits become delays.
+func StagesFor(sys model.System, payload int, tb model.Testbed) []StageSpec {
+	p := model.Build(sys)
+	burst := 1
+	if sys.Batching() {
+		burst = model.DefaultBurst
+	}
+	out := make([]StageSpec, 0, len(p.Stages))
+	for _, st := range p.Stages {
+		st := st
+		if st.Wire {
+			out = append(out, StageSpec{
+				Name: st.Name,
+				Service: func(int) time.Duration {
+					return tb.WireOccupancy(payload + model.FrameOverhead)
+				},
+				Delay: tb.PropDelay + tb.SwitchLatency,
+			})
+			continue
+		}
+		occ := st.Occupancy(payload, burst, tb)
+		wait := stageWait(st, tb)
+		out = append(out, StageSpec{
+			Name:    st.Name,
+			Service: func(int) time.Duration { return occ },
+			Delay:   wait,
+		})
+	}
+	return out
+}
+
+// stageWait sums the latency-only components of a stage (queueing waits
+// that delay packets without occupying the resource).
+func stageWait(st model.Stage, tb model.Testbed) time.Duration {
+	var d time.Duration
+	for _, c := range st.Comps {
+		d += tb.Scale(c.Class, c.LatencyOnly)
+	}
+	return d
+}
+
+// SystemGoodput runs jobs messages of the given payload through the
+// system's simulated pipeline and returns the sustained goodput.
+func SystemGoodput(sys model.System, payload, jobs int, tb model.Testbed) Result {
+	return RunPipeline(StagesFor(sys, payload, tb), jobs)
+}
+
+// MultiSinkGoodput simulates the Fig. 8b scenario: the receiving polling
+// thread delivers every packet to n sinks, so its per-packet service time
+// grows by the calibrated fanout cost. Returns the per-sink goodput run.
+func MultiSinkGoodput(sys model.System, n, payload, jobs int, tb model.Testbed) Result {
+	stages := StagesFor(sys, payload, tb)
+	extra := tb.Scale(model.ScaleRuntime, model.DefaultRuntimeCosts().MultiSinkExtra(n))
+	for i := range stages {
+		if stages[i].Name != "runtime-rx" {
+			continue
+		}
+		base := stages[i].Service
+		stages[i].Service = func(j int) time.Duration { return base(j) + extra }
+	}
+	return RunPipeline(stages, jobs)
+}
