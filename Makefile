@@ -1,31 +1,37 @@
-# INSANE reproduction — common tasks.
+# INSANE reproduction — common tasks. Run `make help` for a summary.
 
 GO ?= go
 
-.PHONY: all test race vet bench experiments demo examples loc
+.PHONY: all test race vet lint bench experiments demo examples loc help
 
-all: vet test
+all: vet test lint ## vet + test + lint (the CI gate)
 
-test:
+help: ## list the available targets
+	@awk -F':.*## ' '/^[a-z-]+:.*## /{printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
+
+test: ## run the full test suite
 	$(GO) test ./...
 
-race:
+race: ## run the test suite under the race detector
 	$(GO) test -race ./...
 
-vet:
+vet: ## run go vet
 	$(GO) vet ./...
 
-bench:
+lint: ## run the insanevet static-analysis suite (see README, "Static analysis")
+	$(GO) run ./cmd/insanevet ./...
+
+bench: ## run every benchmark
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper's evaluation.
-experiments:
+experiments: ## regenerate all paper tables and figures
 	$(GO) run ./cmd/insane-bench
 
-demo:
+demo: ## run both §7 Lunar applications end to end
 	$(GO) run ./cmd/lunar-demo
 
-examples:
+examples: ## run every example program
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/migration
 	$(GO) run ./examples/mom-sensors
@@ -33,5 +39,5 @@ examples:
 	$(GO) run ./examples/tsn-control
 
 # Count the repository's lines of Go.
-loc:
+loc: ## count lines of Go
 	@find . -name '*.go' | xargs wc -l | tail -1

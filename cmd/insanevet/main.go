@@ -1,0 +1,25 @@
+// Command insanevet vets the INSANE tree for violations of the runtime
+// conventions the compiler cannot check: zero-copy buffer ownership
+// (§5.1), poller lock ordering (§5.3), atomic-counter discipline and
+// timebase-routed clock reads. See README, "Static analysis".
+//
+// Usage:
+//
+//	go run ./cmd/insanevet ./...        # whole module (CI entry point)
+//	go run ./cmd/insanevet -list        # describe the rules
+//	go run ./cmd/insanevet ./internal/core ./insane/...
+//
+// Findings print in go-vet style; the command exits non-zero when any
+// survive suppression. Waive one with an explicit, reasoned directive:
+//
+//	//lint:ignore insanevet/<rule> <reason>
+package main
+
+import (
+	"github.com/insane-mw/insane/internal/lint"
+	"github.com/insane-mw/insane/internal/lint/multichecker"
+)
+
+func main() {
+	multichecker.Main(lint.Analyzers()...)
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/insane-mw/insane/internal/lint"
+	"github.com/insane-mw/insane/internal/lint/multichecker"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := multichecker.Run([]string{"-list"}, &out, &errw, lint.Analyzers()...)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errw.String())
+	}
+	for _, name := range []string{"bufownership", "lockorder", "atomicfield", "timebase"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestDirtyModuleFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := multichecker.Run([]string{"-C", "testdata/dirty", "./..."}, &out, &errw, lint.Analyzers()...)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "used after Emit") {
+		t.Errorf("expected a bufownership finding, got:\n%s", out.String())
+	}
+}
+
+func TestBadPatternFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := multichecker.Run([]string{"./no/such/dir"}, &out, &errw, lint.Analyzers()...)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for a load error", code)
+	}
+}

@@ -1,0 +1,18 @@
+// Package dirty is a deliberately violating module used by the driver
+// test: insanevet must exit 1 on it.
+package dirty
+
+// Buffer mimics the zero-copy send buffer.
+type Buffer struct{ Payload []byte }
+
+// Source mimics the client-library producer.
+type Source struct{}
+
+// Emit mimics the ownership-transferring send.
+func (s *Source) Emit(b *Buffer, n int) (uint32, error) { _ = b; return 0, nil }
+
+// Bad touches a buffer after emitting it.
+func Bad(s *Source, b *Buffer) byte {
+	s.Emit(b, 1)
+	return b.Payload[0]
+}

@@ -1,0 +1,3 @@
+module example.com/dirty
+
+go 1.22

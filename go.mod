@@ -1,3 +1,10 @@
 module github.com/insane-mw/insane
 
 go 1.22
+
+// The insanevet analyzers (internal/lint) are written against the
+// golang.org/x/tools go/analysis API, pinned at v0.24.0. This build
+// environment has no module-proxy access, so instead of a require
+// directive the needed subset (analysis, multichecker, analysistest,
+// a packages-style loader) is vendored as internal/lint/* with
+// identical semantics. No other dependencies: stdlib only.

@@ -159,8 +159,8 @@ func (c *ClientConn) Close() error {
 // every polling thread has completed two further passes, so emitted
 // messages leave before the session's slots are reclaimed.
 func (c *ClientConn) flush(timeout time.Duration) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	deadline := timebase.Wall().Add(timeout)
+	for timebase.Wall().Before(deadline) {
 		c.mu.Lock()
 		empty := true
 		for _, r := range c.txRings {

@@ -413,7 +413,7 @@ func (r *Runtime) waitPollerPasses(n uint64, deadline time.Time) {
 	for i, p := range r.pollers {
 		start[i] = p.loops.Load()
 	}
-	for time.Now().Before(deadline) {
+	for timebase.Wall().Before(deadline) {
 		if r.stopped.Load() {
 			return
 		}

@@ -1,0 +1,76 @@
+// Package analysis is an offline, API-compatible subset of
+// golang.org/x/tools/go/analysis (pinned against v0.24.0).
+//
+// The insanevet suite is written against this package exactly as it
+// would be written against the upstream module: an Analyzer bundles a
+// name, a doc string and a Run function; Run receives a Pass with the
+// type-checked syntax of one package and reports Diagnostics. The build
+// environment of this repository is fully offline (no module proxy), so
+// instead of requiring golang.org/x/tools we vendor the thin slice of
+// its API the analyzers need. Swapping back to the upstream module is a
+// one-line import change per file plus a go.mod require.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis rule: how to run it and what
+// it is called in diagnostics and suppression directives.
+type Analyzer struct {
+	// Name identifies the rule. It is the <rule> part accepted by the
+	// `//lint:ignore insanevet/<rule> reason` suppression directive and
+	// is printed with every diagnostic.
+	Name string
+
+	// Doc is the rule's documentation: first line is a summary, the
+	// rest explains the invariant being enforced.
+	Doc string
+
+	// Run applies the rule to one package. The returned value is
+	// ignored by the insanevet driver (upstream uses it for
+	// inter-analyzer facts); returning (nil, nil) is the norm.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides one analyzer run with the type-checked syntax of a
+// single package and a sink for diagnostics.
+type Pass struct {
+	// Analyzer is the rule being applied.
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax (non-test files).
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver attaches suppression
+	// and output handling here; analyzers should use Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	// Pos is where the problem was found.
+	Pos token.Pos
+	// Category optionally refines the rule name (unused by the
+	// insanevet drivers, kept for upstream compatibility).
+	Category string
+	// Message states the problem, in the tone of `go vet`.
+	Message string
+}

@@ -1,0 +1,371 @@
+// Package bufownership implements the insanevet rule enforcing the
+// zero-copy buffer ownership protocol of the INSANE client API (§5.1).
+//
+// A *Buffer handed to Emit (or Abort) belongs to the runtime: the slot
+// it wraps is recycled concurrently by the polling threads, so any
+// later read or write through the same variable is a data race on
+// shared memory that no test reliably catches. The same applies to a
+// *Message/*Delivery after Release. This analyzer flags, within one
+// function body:
+//
+//   - any use of a buffer variable after it was passed to Emit/Abort;
+//   - any use of a message variable after it was passed to Release,
+//     including a second Release (double release corrupts the slot
+//     reference counts).
+//
+// The one sanctioned exception is the backpressure protocol: Emit
+// returns ErrBackpressure *without* taking ownership, so uses guarded
+// by a condition on the error returned by the killing call (for
+// example `if errors.Is(err, insane.ErrBackpressure)`) are not flagged,
+// and re-emitting the same buffer inside a retry loop is fine because
+// the analysis is forward-only within each loop iteration.
+//
+// Reassigning the variable (`b, err = src.GetBuffer(n)` or
+// `b.inner = nil`) re-establishes ownership and stops the tracking.
+package bufownership
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/insane-mw/insane/internal/lint/analysis"
+)
+
+// Analyzer is the bufownership rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufownership",
+	Doc:  "flag uses of zero-copy buffers after ownership passed to the runtime (Emit/Abort/Release)",
+	Run:  run,
+}
+
+// kill records the statement that transferred ownership of a value.
+type kill struct {
+	verb   string       // "Emit", "Abort" or "Release"
+	pos    token.Pos    // position of the killing call
+	errVar types.Object // error assigned from the killing call, if any
+}
+
+// state maps canonical expressions ("b", "b.inner") to their kill.
+type state map[string]kill
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanBlock(pass, fn.Body.List, make(state))
+				}
+			case *ast.FuncLit:
+				scanBlock(pass, fn.Body.List, make(state))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// scanBlock walks a statement list in order, tracking ownership
+// transfers. Branches are analyzed with a copy of the state and their
+// kills do not escape (conservative: no false positives after
+// `if cond { Emit(b) } else { Abort(b) }`), while kills in straight-line
+// code propagate to every following statement of the block.
+func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, st state) {
+	for _, s := range stmts {
+		scanStmt(pass, s, st)
+	}
+}
+
+func scanStmt(pass *analysis.Pass, s ast.Stmt, st state) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			checkUses(pass, rhs, st)
+		}
+		kills := applyKills(pass, s.Rhs, st)
+		// Bind the error result so guarded uses can be excused.
+		if len(kills) > 0 && len(s.Rhs) == 1 {
+			if errObj := errorLHS(pass, s.Lhs); errObj != nil {
+				for _, k := range kills {
+					kl := st[k]
+					kl.errVar = errObj
+					st[k] = kl
+				}
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if key := canon(lhs); key != "" {
+				if _, dead := st[key]; dead {
+					delete(st, key) // reassignment re-establishes ownership
+					continue
+				}
+			}
+			checkUses(pass, lhs, st) // e.g. b.Payload[0] = 1 after Emit
+		}
+	case *ast.ExprStmt:
+		checkUses(pass, s.X, st)
+		applyKills(pass, []ast.Expr{s.X}, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						checkUses(pass, v, st)
+					}
+					applyKills(pass, vs.Values, st)
+					for _, name := range vs.Names {
+						delete(st, name.Name)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			checkUses(pass, r, st)
+		}
+	case *ast.DeferStmt:
+		checkUses(pass, s.Call, st)
+	case *ast.GoStmt:
+		checkUses(pass, s.Call, st)
+	case *ast.SendStmt:
+		checkUses(pass, s.Chan, st)
+		checkUses(pass, s.Value, st)
+	case *ast.IncDecStmt:
+		checkUses(pass, s.X, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, st)
+		}
+		checkUses(pass, s.Cond, st)
+		// The error-guard exception: inside a branch conditioned on the
+		// killing call's error, the caller still owns the buffer
+		// (ErrBackpressure keeps ownership with the caller).
+		branch := st.clone()
+		for key, k := range st {
+			if k.errVar != nil && mentions(pass, s.Cond, k.errVar) {
+				delete(branch, key)
+			}
+		}
+		scanBlock(pass, s.Body.List, branch)
+		if s.Else != nil {
+			scanStmt(pass, s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, st)
+		}
+		if s.Cond != nil {
+			checkUses(pass, s.Cond, st)
+		}
+		body := st.clone()
+		for key, k := range st {
+			if s.Cond != nil && k.errVar != nil && mentions(pass, s.Cond, k.errVar) {
+				delete(body, key)
+			}
+		}
+		scanBlock(pass, s.Body.List, body)
+	case *ast.RangeStmt:
+		checkUses(pass, s.X, st)
+		scanBlock(pass, s.Body.List, st.clone())
+	case *ast.BlockStmt:
+		scanBlock(pass, s.List, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, st)
+		}
+		if s.Tag != nil {
+			checkUses(pass, s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branch := st.clone()
+				for _, e := range cc.List {
+					checkUses(pass, e, branch)
+				}
+				scanBlock(pass, cc.Body, branch)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanBlock(pass, cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := st.clone()
+				if cc.Comm != nil {
+					scanStmt(pass, cc.Comm, branch)
+				}
+				scanBlock(pass, cc.Body, branch)
+			}
+		}
+	case *ast.LabeledStmt:
+		scanStmt(pass, s.Stmt, st)
+	}
+}
+
+// applyKills records ownership transfers performed by calls within the
+// expressions and returns the keys killed.
+func applyKills(pass *analysis.Pass, exprs []ast.Expr, st state) []string {
+	var killed []string
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // closures run later; analyzed separately
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			verb, key, ok := killerCall(pass, call)
+			if !ok {
+				return true
+			}
+			st[key] = kill{verb: verb, pos: call.Pos()}
+			killed = append(killed, key)
+			return true
+		})
+	}
+	return killed
+}
+
+// killerCall recognizes Emit/Abort/Release calls that transfer
+// ownership of their first argument, returning the verb and the
+// argument's canonical key.
+func killerCall(pass *analysis.Pass, call *ast.CallExpr) (verb, key string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) == 0 {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	var wantTypes []string
+	switch name {
+	case "Emit", "Abort":
+		wantTypes = []string{"Buffer"}
+	case "Release":
+		wantTypes = []string{"Message", "Delivery"}
+	default:
+		return "", "", false
+	}
+	arg := call.Args[0]
+	tn := pointeeName(pass, arg)
+	for _, w := range wantTypes {
+		if tn == w {
+			if key = canon(arg); key != "" {
+				return name, key, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// pointeeName returns the name of the named type an expression points
+// to, or "" when the expression is not a pointer to a named type.
+func pointeeName(pass *analysis.Pass, e ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// checkUses reports every appearance of a killed expression within e,
+// skipping the interiors of closures.
+func checkUses(pass *analysis.Pass, e ast.Expr, st state) {
+	if e == nil || len(st) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var key string
+		switch n := n.(type) {
+		case *ast.Ident:
+			key = n.Name
+		case *ast.SelectorExpr:
+			key = canon(n)
+		default:
+			return true
+		}
+		k, dead := st[key]
+		if !dead {
+			return true
+		}
+		line := pass.Fset.Position(k.pos).Line
+		pass.Reportf(n.Pos(), "%s used after %s (ownership passed to the runtime at line %d)", key, k.verb, line)
+		// One report per killed key per statement is enough.
+		delete(st, key)
+		return true
+	})
+}
+
+// errorLHS returns the object of an LHS identifier with type error.
+func errorLHS(pass *analysis.Pass, lhs []ast.Expr) types.Object {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil || obj.Type() == nil {
+			continue
+		}
+		if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return obj
+		}
+	}
+	return nil
+}
+
+// mentions reports whether the expression references the object.
+func mentions(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// canon renders an identifier or dotted selector chain as a stable
+// key ("b", "b.inner", "st.schedMu"); other shapes are untrackable.
+func canon(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return canon(e.X)
+	case *ast.SelectorExpr:
+		base := canon(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

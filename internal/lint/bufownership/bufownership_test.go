@@ -1,0 +1,12 @@
+package bufownership_test
+
+import (
+	"testing"
+
+	"github.com/insane-mw/insane/internal/lint/analysistest"
+	"github.com/insane-mw/insane/internal/lint/bufownership"
+)
+
+func TestBufOwnership(t *testing.T) {
+	analysistest.Run(t, "testdata", bufownership.Analyzer, "a")
+}

@@ -1,0 +1,134 @@
+// Package a seeds bufownership violations against a stand-in of the
+// INSANE client API: the analyzer matches Emit/Abort/Release calls by
+// method name and *Buffer/*Message argument type, so the fixture does
+// not need the real module.
+package a
+
+import "errors"
+
+// Buffer mimics insane.Buffer: a zero-copy send buffer.
+type Buffer struct {
+	Payload []byte
+}
+
+// Message mimics insane.Message: a zero-copy delivery.
+type Message struct {
+	Payload []byte
+}
+
+// ErrBackpressure mimics the sanctioned retry error.
+var ErrBackpressure = errors.New("backpressure")
+
+// Source mimics insane.Source.
+type Source struct{}
+
+func (s *Source) GetBuffer(n int) (*Buffer, error) {
+	return &Buffer{Payload: make([]byte, n)}, nil
+}
+func (s *Source) Emit(b *Buffer, n int) (uint32, error) { _ = b; return 0, nil }
+func (s *Source) Abort(b *Buffer)                       { _ = b }
+
+// Sink mimics insane.Sink.
+type Sink struct{}
+
+func (k *Sink) Consume() (*Message, error) { return &Message{}, nil }
+func (k *Sink) Release(m *Message)         { _ = m }
+
+// Seeded violation 1: write into the payload after Emit.
+func useAfterEmit(s *Source) {
+	b, _ := s.GetBuffer(8)
+	s.Emit(b, 8)
+	b.Payload[0] = 1 // want `b used after Emit`
+}
+
+// Seeded violation 2: read through the variable after Emit.
+func readAfterEmit(s *Source) byte {
+	b, _ := s.GetBuffer(8)
+	_, _ = s.Emit(b, 8)
+	return b.Payload[0] // want `b used after Emit`
+}
+
+// Seeded violation 3: emitting a buffer that was already aborted.
+func emitAfterAbort(s *Source) {
+	b, _ := s.GetBuffer(8)
+	s.Abort(b)
+	s.Emit(b, 8) // want `b used after Abort`
+}
+
+// Seeded violation 4: reading a released message.
+func useAfterRelease(k *Sink) byte {
+	m, _ := k.Consume()
+	k.Release(m)
+	return m.Payload[0] // want `m used after Release`
+}
+
+// Seeded violation 5: double release corrupts slot reference counts.
+func doubleRelease(k *Sink) {
+	m, _ := k.Consume()
+	k.Release(m)
+	k.Release(m) // want `m used after Release`
+}
+
+// The backpressure protocol: on error the caller keeps ownership, so
+// uses guarded by the emit error are legal.
+func retryOnBackpressure(s *Source) {
+	b, _ := s.GetBuffer(8)
+	_, err := s.Emit(b, 8)
+	if errors.Is(err, ErrBackpressure) {
+		s.Emit(b, 8) // ok: guarded by the killing call's error
+	}
+}
+
+// Retry loops re-emit the same buffer; the analysis is forward-only
+// within one iteration, mirroring how ownership really flows.
+func retryLoop(s *Source) error {
+	b, _ := s.GetBuffer(8)
+	for {
+		_, err := s.Emit(b, 8)
+		if !errors.Is(err, ErrBackpressure) {
+			return err
+		}
+	}
+}
+
+// Reassignment re-establishes ownership.
+func reuseVariable(s *Source) {
+	b, _ := s.GetBuffer(8)
+	s.Emit(b, 8)
+	b, _ = s.GetBuffer(16)
+	b.Payload[0] = 2 // ok: fresh buffer under the same name
+	s.Emit(b, 16)
+}
+
+// wrapper mimics the client library's owner-field idiom.
+type wrapper struct{ inner *Buffer }
+
+// Clearing the owner field after a successful transfer is the idiom the
+// insane package itself uses (b.inner = nil); assignment is not a use.
+func clearField(s *Source, w *wrapper) {
+	_, err := s.Emit(w.inner, 4)
+	if err == nil {
+		w.inner = nil // ok: reassignment
+	}
+}
+
+// Transfers inside one branch do not poison the sibling or the code
+// after the conditional.
+func branchLocal(s *Source, cond bool) {
+	b, _ := s.GetBuffer(8)
+	if cond {
+		s.Emit(b, 8)
+	} else {
+		s.Abort(b)
+	}
+}
+
+// The suppression path: an explicit, reasoned directive waives the
+// finding (no `want` here — an unsuppressed diagnostic would fail the
+// test as unexpected).
+func suppressed(s *Source) {
+	b, _ := s.GetBuffer(8)
+	s.Emit(b, 8)
+	//lint:ignore insanevet/bufownership fixture proving the suppression path
+	b.Payload[0] = 1
+}

@@ -1,0 +1,138 @@
+// Package directive parses the `//lint:ignore` suppression comments
+// understood by the insanevet drivers.
+//
+// The accepted form is:
+//
+//	//lint:ignore insanevet/<rule> <reason>
+//
+// A directive written on its own line suppresses matching diagnostics
+// on the next source line; a directive trailing a statement suppresses
+// diagnostics on its own line. The reason is mandatory: a directive
+// without one does not suppress anything and is itself reported by the
+// driver, so every waiver is documented in the tree.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// prefix is the comment marker shared with staticcheck-style tooling.
+const prefix = "//lint:ignore "
+
+// namespace scopes rules to this suite: `insanevet/bufownership`.
+const namespace = "insanevet/"
+
+// Ignore is one parsed suppression directive.
+type Ignore struct {
+	// Rule is the analyzer name being waived (without the insanevet/
+	// namespace), or "*" for all rules.
+	Rule string
+	// Reason is the justification text after the rule.
+	Reason string
+	// File and Line locate the directive.
+	File string
+	Line int
+	// Pos is the directive's position (for malformed-directive
+	// diagnostics).
+	Pos token.Pos
+	// Malformed is set when the directive was recognized but cannot
+	// suppress anything (missing reason or missing insanevet/ scope).
+	Malformed string
+}
+
+// Collect extracts every lint:ignore directive from the files.
+func Collect(fset *token.FileSet, files []*ast.File) []Ignore {
+	var out []Ignore
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ig, ok := parse(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ig.File = pos.Filename
+				ig.Line = pos.Line
+				ig.Pos = c.Pos()
+				out = append(out, ig)
+			}
+		}
+	}
+	return out
+}
+
+// parse interprets one comment as a directive.
+func parse(text string) (Ignore, bool) {
+	rest, ok := strings.CutPrefix(text, prefix)
+	if !ok {
+		return Ignore{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Ignore{Malformed: "missing rule and reason"}, true
+	}
+	rule := fields[0]
+	reason := strings.TrimSpace(strings.TrimPrefix(rest, rule))
+	scoped, hasScope := strings.CutPrefix(rule, namespace)
+	switch {
+	case !hasScope:
+		return Ignore{Rule: rule, Malformed: "rule must be namespaced as " + namespace + "<rule>"}, true
+	case scoped == "":
+		return Ignore{Malformed: "empty rule after " + namespace}, true
+	case reason == "":
+		return Ignore{Rule: scoped, Malformed: "missing reason"}, true
+	}
+	return Ignore{Rule: scoped, Reason: reason}, true
+}
+
+// Index answers suppression queries for one package.
+type Index struct {
+	byLine map[string]map[int][]Ignore
+	all    []Ignore
+}
+
+// NewIndex builds an Index from the package's files.
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	idx := &Index{byLine: make(map[string]map[int][]Ignore)}
+	for _, ig := range Collect(fset, files) {
+		idx.all = append(idx.all, ig)
+		if ig.Malformed != "" {
+			continue
+		}
+		lines := idx.byLine[ig.File]
+		if lines == nil {
+			lines = make(map[int][]Ignore)
+			idx.byLine[ig.File] = lines
+		}
+		// A directive covers its own line (trailing comment) and the
+		// next line (comment-above style).
+		lines[ig.Line] = append(lines[ig.Line], ig)
+		lines[ig.Line+1] = append(lines[ig.Line+1], ig)
+	}
+	return idx
+}
+
+// Suppresses reports whether a diagnostic of the named rule at pos is
+// waived by a directive.
+func (idx *Index) Suppresses(pos token.Position, rule string) bool {
+	for _, ig := range idx.byLine[pos.Filename][pos.Line] {
+		if ig.Rule == rule || ig.Rule == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// Malformed returns the directives that were recognized but cannot
+// suppress anything, so drivers can surface them.
+func (idx *Index) Malformed() []Ignore {
+	var out []Ignore
+	for _, ig := range idx.all {
+		if ig.Malformed != "" {
+			out = append(out, ig)
+		}
+	}
+	return out
+}

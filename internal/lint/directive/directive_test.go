@@ -1,0 +1,88 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/insane-mw/insane/internal/lint/directive"
+)
+
+const src = `package x
+
+func f() {
+	//lint:ignore insanevet/bufownership the slot is quarantined by the test harness
+	use()
+	ok() //lint:ignore insanevet/lockorder trailing directive on its own line
+	//lint:ignore bufownership missing the insanevet namespace
+	//lint:ignore insanevet/timebase
+	use()
+}
+
+func use() {}
+func ok()  {}
+`
+
+func index(t *testing.T) (*token.FileSet, *directive.Index) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, directive.NewIndex(fset, []*ast.File{f})
+}
+
+func TestSuppressesNextLine(t *testing.T) {
+	_, idx := index(t)
+	at := func(line int) token.Position { return token.Position{Filename: "x.go", Line: line} }
+
+	// Comment-above style: directive on line 4 covers line 5.
+	if !idx.Suppresses(at(5), "bufownership") {
+		t.Error("directive above the statement should suppress it")
+	}
+	// Only the named rule is waived.
+	if idx.Suppresses(at(5), "lockorder") {
+		t.Error("directive must not suppress other rules")
+	}
+	// Trailing style: directive on line 6 covers line 6.
+	if !idx.Suppresses(at(6), "lockorder") {
+		t.Error("trailing directive should suppress its own line")
+	}
+	// Out of range.
+	if idx.Suppresses(at(9), "bufownership") {
+		t.Error("directives must not leak past the following line")
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	_, idx := index(t)
+	bad := idx.Malformed()
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed directives, want 2: %+v", len(bad), bad)
+	}
+	// Neither malformed directive suppresses anything.
+	if idx.Suppresses(token.Position{Filename: "x.go", Line: 8}, "bufownership") ||
+		idx.Suppresses(token.Position{Filename: "x.go", Line: 9}, "timebase") {
+		t.Error("malformed directives must not suppress")
+	}
+}
+
+func TestCollectReasons(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	igs := directive.Collect(fset, []*ast.File{f})
+	if len(igs) != 4 {
+		t.Fatalf("got %d directives, want 4", len(igs))
+	}
+	if igs[0].Rule != "bufownership" || igs[0].Reason == "" {
+		t.Errorf("first directive parsed wrong: %+v", igs[0])
+	}
+	if igs[3].Malformed == "" {
+		t.Errorf("reason-less directive should be malformed: %+v", igs[3])
+	}
+}

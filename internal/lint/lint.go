@@ -1,0 +1,102 @@
+// Package lint assembles the insanevet analyzer suite and runs it over
+// loaded packages, applying the `//lint:ignore insanevet/<rule>`
+// suppression directives.
+//
+// The suite enforces the conventions the compiler cannot check but the
+// INSANE runtime depends on (see README, "Static analysis"):
+//
+//	bufownership — no touching zero-copy buffers after Emit/Abort, no
+//	               Message use after Release (§5.1 slot pools)
+//	lockorder    — mu→schedMu acquisition order, locks never escape
+//	               their function (§5.3 polling threads)
+//	atomicfield  — no copies of atomic fields, no mixed plain/atomic
+//	               access to counters
+//	timebase     — datapath packages read time via internal/timebase
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/atomicfield"
+	"github.com/insane-mw/insane/internal/lint/bufownership"
+	"github.com/insane-mw/insane/internal/lint/directive"
+	"github.com/insane-mw/insane/internal/lint/loader"
+	"github.com/insane-mw/insane/internal/lint/lockorder"
+	"github.com/insane-mw/insane/internal/lint/timebasecheck"
+)
+
+// Analyzers returns the full insanevet suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		bufownership.Analyzer,
+		lockorder.Analyzer,
+		atomicfield.Analyzer,
+		timebasecheck.Analyzer,
+	}
+}
+
+// Finding is one unsuppressed diagnostic.
+type Finding struct {
+	// Analyzer names the rule ("bufownership", ..., or "directive" for
+	// malformed suppression comments).
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the problem.
+	Message string
+}
+
+// String formats the finding in the file:line:col style of go vet.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (insanevet/%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies the analyzers to every package and returns the findings
+// that survive suppression, sorted by position.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		idx := directive.NewIndex(pkg.Fset, pkg.Files)
+		for _, ig := range idx.Malformed() {
+			out = append(out, Finding{
+				Analyzer: "directive",
+				Pos:      pkg.Fset.Position(ig.Pos),
+				Message:  "malformed //lint:ignore directive: " + ig.Malformed,
+			})
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if idx.Suppresses(pos, name) {
+					return
+				}
+				out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package loader_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/insane-mw/insane/internal/lint/loader"
+)
+
+func TestLoadModulePackage(t *testing.T) {
+	ldr, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldr.Module != "github.com/insane-mw/insane" {
+		t.Fatalf("module path = %q", ldr.Module)
+	}
+	pkgs, err := ldr.Load("./internal/timebase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types == nil || pkg.Types.Name() != "timebase" {
+		t.Fatalf("type-checked package missing or misnamed: %+v", pkg.Types)
+	}
+	if pkg.Types.Scope().Lookup("Wall") == nil {
+		t.Error("timebase.Wall not found in the loaded package scope")
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Error("type info not populated")
+	}
+}
+
+func TestLoadSubtreeResolvesInternalImports(t *testing.T) {
+	ldr, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/sched imports internal/datapath and internal/timebase;
+	// loading it exercises the module-internal importer path.
+	pkgs, err := ldr.Load("./internal/sched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "github.com/insane-mw/insane/internal/sched" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+}
+
+func TestWalkSkipsTestdata(t *testing.T) {
+	ldr, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ldr.Load("./internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("testdata package loaded: %s", p.Path)
+		}
+	}
+	if len(pkgs) < 8 {
+		t.Errorf("expected the full lint subtree, got %d packages", len(pkgs))
+	}
+}

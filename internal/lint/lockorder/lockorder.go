@@ -1,0 +1,298 @@
+// Package lockorder implements the insanevet rule guarding the
+// runtime's poller locking discipline.
+//
+// internal/core orders its techState locks strictly mu→schedMu: the
+// endpoint mutex (mu) is never acquired while the scheduler mutex
+// (schedMu) is held, because pollers take schedMu on every iteration
+// and a cross-technology send takes mu — the inverse nesting deadlocks
+// two pollers against each other (§5.3's multi-threaded datapath).
+// This analyzer flags, within one function body:
+//
+//   - acquiring a mutex field named "mu" while a "schedMu" of the same
+//     receiver (or the same struct type) is held — the inversion of the
+//     established order;
+//   - any Lock/RLock of a sync.Mutex/sync.RWMutex field with no
+//     matching Unlock/RUnlock (direct or deferred) anywhere in the same
+//     function — the runtime never hands locked state across function
+//     boundaries.
+//
+// The analysis is intra-procedural and branch-aware: locks taken inside
+// a branch are not considered held after it, and a deferred Unlock
+// keeps the lock held for order-checking until the function returns
+// (which is exactly how deadlocks happen).
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/insane-mw/insane/internal/lint/analysis"
+)
+
+// Analyzer is the lockorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "flag mu/schedMu lock-order inversions and Lock calls without a matching Unlock",
+	Run:  run,
+}
+
+// lockEvent is one Lock/Unlock-family call on a mutex-typed selector.
+type lockEvent struct {
+	call  *ast.CallExpr
+	verb  string // Lock, RLock, Unlock, RUnlock
+	key   string // canonical mutex expression, e.g. "st.schedMu"
+	field string // mutex field name, e.g. "schedMu"
+	base  string // canonical owner expression, e.g. "st"
+	typ   types.Type
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// held tracks the mutexes currently locked during the scan.
+type held map[string]lockEvent
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Rule 2 first: every Lock needs a matching Unlock somewhere in the
+	// function (same mutex expression, same read/write flavor).
+	events := collect(pass, body)
+	unlocked := make(map[string]bool)
+	for _, ev := range events {
+		if ev.verb == "Unlock" || ev.verb == "RUnlock" {
+			unlocked[ev.key+"/"+ev.verb] = true
+		}
+	}
+	for _, ev := range events {
+		var want string
+		switch ev.verb {
+		case "Lock":
+			want = "Unlock"
+		case "RLock":
+			want = "RUnlock"
+		default:
+			continue
+		}
+		if !unlocked[ev.key+"/"+want] {
+			pass.Reportf(ev.call.Pos(), "%s.%s() has no matching %s in this function (runtime locks never escape their function)", ev.key, ev.verb, want)
+		}
+	}
+
+	// Rule 1: branch-aware scan for schedMu→mu inversions.
+	scanBlock(pass, body.List, make(held))
+}
+
+// collect gathers the lock events of a function body in source order,
+// without descending into nested function literals.
+func collect(pass *analysis.Pass, body *ast.BlockStmt) []lockEvent {
+	var out []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ev, ok := mutexCall(pass, call); ok {
+				out = append(out, ev)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexCall recognizes a Lock/Unlock-family call on a selector whose
+// receiver is a sync.Mutex or sync.RWMutex field.
+func mutexCall(pass *analysis.Pass, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	verb := sel.Sel.Name
+	switch verb {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	recv, ok := sel.X.(*ast.SelectorExpr) // field access: owner.mutexField
+	if !ok {
+		return lockEvent{}, false
+	}
+	if !isSyncMutex(pass.TypesInfo.Types[sel.X].Type) {
+		return lockEvent{}, false
+	}
+	key := canon(sel.X)
+	if key == "" {
+		return lockEvent{}, false
+	}
+	var ownerType types.Type
+	if tv, ok := pass.TypesInfo.Types[recv.X]; ok {
+		ownerType = tv.Type
+	}
+	return lockEvent{
+		call:  call,
+		verb:  verb,
+		key:   key,
+		field: recv.Sel.Name,
+		base:  canon(recv.X),
+		typ:   ownerType,
+	}, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// scanBlock applies rule 1 over a statement list: sequential lock state
+// within the block, copies for branches.
+func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, h held) {
+	for _, s := range stmts {
+		scanStmt(pass, s, h)
+	}
+}
+
+func scanStmt(pass *analysis.Pass, s ast.Stmt, h held) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		applyExpr(pass, s.X, h, false)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases only at return: the mutex stays
+		// held for everything that follows in this function.
+		applyExpr(pass, s.Call, h, true)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			applyExpr(pass, e, h, false)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, h)
+		}
+		scanBlock(pass, s.Body.List, h.clone())
+		if s.Else != nil {
+			scanStmt(pass, s.Else, h.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, h)
+		}
+		scanBlock(pass, s.Body.List, h.clone())
+	case *ast.RangeStmt:
+		scanBlock(pass, s.Body.List, h.clone())
+	case *ast.BlockStmt:
+		scanBlock(pass, s.List, h)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanBlock(pass, cc.Body, h.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanBlock(pass, cc.Body, h.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanBlock(pass, cc.Body, h.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		scanStmt(pass, s.Stmt, h)
+	}
+}
+
+// applyExpr updates the held set with every mutex call in the
+// expression and reports order inversions as they happen.
+func applyExpr(pass *analysis.Pass, e ast.Expr, h held, deferred bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ev, ok := mutexCall(pass, call)
+		if !ok {
+			return true
+		}
+		switch ev.verb {
+		case "Lock", "RLock":
+			if ev.field == "mu" {
+				for _, prior := range h {
+					if prior.field == "schedMu" && sameOwner(prior, ev) {
+						pass.Reportf(call.Pos(), "%s.%s() while holding %s: lock order is mu→schedMu (inversion deadlocks the pollers)", ev.key, ev.verb, prior.key)
+					}
+				}
+			}
+			h[ev.key] = ev
+		case "Unlock", "RUnlock":
+			if !deferred {
+				delete(h, ev.key)
+			}
+		}
+		return true
+	})
+}
+
+// sameOwner reports whether two mutex fields belong to the same
+// receiver expression or the same struct type.
+func sameOwner(a, b lockEvent) bool {
+	if a.base != "" && a.base == b.base {
+		return true
+	}
+	return a.typ != nil && b.typ != nil && types.Identical(a.typ, b.typ)
+}
+
+// canon renders a dotted identifier chain ("st.schedMu") or "" when the
+// expression has another shape.
+func canon(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return canon(e.X)
+	case *ast.SelectorExpr:
+		base := canon(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

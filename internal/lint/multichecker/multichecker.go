@@ -1,0 +1,73 @@
+// Package multichecker builds a command-line driver around a set of
+// insanevet analyzers, mirroring the shape (and exit-code contract) of
+// golang.org/x/tools/go/analysis/multichecker for the offline analysis
+// subset under internal/lint/analysis.
+package multichecker
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/insane-mw/insane/internal/lint"
+	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/loader"
+)
+
+// Main loads the packages named by the command-line patterns, applies
+// the analyzers and exits: 0 when the tree is clean, 1 when findings
+// were reported, 2 on a load or usage error.
+func Main(analyzers ...*analysis.Analyzer) {
+	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr, analyzers...))
+}
+
+// Run is Main without the process exit, for tests: it returns the exit
+// code and writes findings to out and errors to errw.
+func Run(args []string, out, errw io.Writer, analyzers ...*analysis.Analyzer) int {
+	fs := flag.NewFlagSet("insanevet", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "directory of the module to analyze")
+	fs.Usage = func() {
+		fmt.Fprintf(errw, "usage: insanevet [-list] [-C dir] [packages]\n\n")
+		fmt.Fprintf(errw, "insanevet checks the INSANE tree for violations of the runtime's\nzero-copy ownership, locking, atomicity and timebase conventions.\nPatterns default to ./...; suppress a finding with\n\t//lint:ignore insanevet/<rule> <reason>\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ldr, err := loader.New(*dir)
+	if err != nil {
+		fmt.Fprintln(errw, "insanevet:", err)
+		return 2
+	}
+	pkgs, err := ldr.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(errw, "insanevet:", err)
+		return 2
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(errw, "insanevet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errw, "insanevet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

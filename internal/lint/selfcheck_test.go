@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/insane-mw/insane/internal/lint"
+	"github.com/insane-mw/insane/internal/lint/loader"
+)
+
+// TestRepositoryIsClean runs the full insanevet suite over the whole
+// module, exactly as `make lint` does: the tree must stay free of
+// ownership, lock-order, atomicity and timebase violations (or carry
+// explicit //lint:ignore directives).
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	ldr, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ldr.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 30 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

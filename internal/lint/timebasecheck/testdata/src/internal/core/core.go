@@ -1,0 +1,36 @@
+// Package core is a testdata stand-in for the real runtime package:
+// its import path ends in internal/core, so the timebase rule applies
+// to it.
+package core
+
+import "time"
+
+var epoch time.Time
+
+// Seeded violation 1: sampling the wall clock on the datapath.
+func pollOnce() time.Time {
+	return time.Now() // want `time.Now in internal/core`
+}
+
+// Seeded violation 2: measuring elapsed wall time directly.
+func elapsed() time.Duration {
+	return time.Since(epoch) // want `time.Since in internal/core`
+}
+
+// Seeded violation 3: deadline arithmetic through time.Until.
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time.Until in internal/core`
+}
+
+// Timers and duration arithmetic are fine: only clock sampling is
+// restricted.
+func pace(d time.Duration) <-chan time.Time {
+	return time.After(d)
+}
+
+// The suppression path: an explicit, reasoned directive waives the
+// finding.
+func sanctioned() time.Time {
+	//lint:ignore insanevet/timebase fixture proving the suppression path
+	return time.Now()
+}

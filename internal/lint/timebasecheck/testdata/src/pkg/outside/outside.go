@@ -1,0 +1,9 @@
+// Package outside is not on the datapath: the timebase rule must
+// ignore it entirely.
+package outside
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+func since(t time.Time) time.Duration { return time.Since(t) }

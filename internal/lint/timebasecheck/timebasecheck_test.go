@@ -1,0 +1,12 @@
+package timebasecheck_test
+
+import (
+	"testing"
+
+	"github.com/insane-mw/insane/internal/lint/analysistest"
+	"github.com/insane-mw/insane/internal/lint/timebasecheck"
+)
+
+func TestTimebase(t *testing.T) {
+	analysistest.Run(t, "testdata", timebasecheck.Analyzer, "internal/core", "pkg/outside")
+}

@@ -91,6 +91,19 @@ func (c *SimClock) Advance(d time.Duration) VTime {
 	return VTime(c.now.Add(int64(d)))
 }
 
+// Wall returns the current wall-clock time. It is the single
+// sanctioned wall-clock read for the datapath packages: the insanevet
+// timebase rule forbids direct time.Now/time.Since there so that every
+// clock access is either virtual (through a Clock) or routed through
+// this auditable escape hatch. Use it only for genuine wall-clock
+// deadlines — session flush bounds, poller-pass waits — never for
+// latency accounting, which must stay in virtual time.
+func Wall() time.Time { return time.Now() }
+
+// WallSince returns the wall-clock duration elapsed since t, the
+// companion escape hatch to Wall for timeout bookkeeping.
+func WallSince(t time.Time) time.Duration { return time.Since(t) }
+
 // Rate is a transmission rate in bits per second.
 type Rate int64
 

@@ -161,3 +161,13 @@ func TestRateString(t *testing.T) {
 		}
 	}
 }
+
+func TestWall(t *testing.T) {
+	t0 := Wall()
+	if since := WallSince(t0); since < 0 {
+		t.Errorf("WallSince(Wall()) = %v, want >= 0", since)
+	}
+	if !Wall().After(t0.Add(-time.Second)) {
+		t.Error("Wall() went backwards by more than a second")
+	}
+}
