@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet lint bench experiments demo examples loc help
+.PHONY: all test race vet lint bench bench-baseline experiments demo examples loc help
 
 all: vet test lint ## vet + test + lint (the CI gate)
 
@@ -23,6 +23,9 @@ lint: ## run the insanevet static-analysis suite (see README, "Static analysis")
 
 bench: ## run every benchmark
 	$(GO) test -bench=. -benchmem ./...
+
+bench-baseline: ## measure the hot-path suite and refresh BENCH_hotpath.json
+	$(GO) run ./cmd/insane-bench -hotpath BENCH_hotpath.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments: ## regenerate all paper tables and figures

@@ -1,0 +1,102 @@
+// Hot-path baseline mode: measures the middleware's real wall-clock
+// steady-state operations (borrow → emit → shared-memory delivery →
+// consume → release) and writes BENCH_hotpath.json via internal/bench.
+// This is the perf trajectory future changes regress against; the
+// allocation-gate tests assert the same path stays at 0 allocs/op.
+
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/insane-mw/insane/insane"
+	"github.com/insane-mw/insane/internal/bench"
+)
+
+// hotpathWarmup fills the wrapper pools, poller caches and topology
+// snapshots before measurement starts, so one-time costs don't bill the
+// steady state.
+const hotpathWarmup = 500
+
+// runHotpath measures the hot-path suite and writes the JSON baseline.
+func runHotpath(path string, iters int) error {
+	specs := []struct {
+		name  string
+		size  int
+		sinks int
+	}{
+		{name: "emit-consume-local/64B", size: 64, sinks: 1},
+		{name: "emit-consume-local/4KB", size: 4096, sinks: 1},
+		{name: "emit-consume-fanout/64B-4sinks", size: 64, sinks: 4},
+	}
+	results := make([]bench.HotpathResult, 0, len(specs))
+	for _, spec := range specs {
+		res, err := measureEmitConsume(spec.name, spec.size, spec.sinks, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		results = append(results, res)
+	}
+	if err := bench.WriteHotpathJSON(path, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// measureEmitConsume times one publish→deliver configuration on a quiet
+// kernel-only cluster (no simulated busy-poll planes), so the numbers
+// isolate the middleware's own path.
+func measureEmitConsume(name string, size, nsinks, iters int) (bench.HotpathResult, error) {
+	cluster, err := insane.NewCluster(insane.ClusterOptions{
+		Nodes: []insane.NodeSpec{{Name: "a"}, {Name: "b"}},
+	})
+	if err != nil {
+		return bench.HotpathResult{}, err
+	}
+	defer cluster.Close()
+	sess, err := cluster.Node("a").InitSession()
+	if err != nil {
+		return bench.HotpathResult{}, err
+	}
+	defer sess.Close()
+	st, err := sess.CreateStream(insane.Options{})
+	if err != nil {
+		return bench.HotpathResult{}, err
+	}
+	sinks := make([]*insane.Sink, nsinks)
+	for i := range sinks {
+		if sinks[i], err = st.CreateSink(1, nil); err != nil {
+			return bench.HotpathResult{}, err
+		}
+	}
+	src, err := st.CreateSource(1)
+	if err != nil {
+		return bench.HotpathResult{}, err
+	}
+	op := func() error {
+		buf, err := src.GetBuffer(size)
+		if err != nil {
+			return err
+		}
+		if _, err := src.Emit(buf, size); err != nil {
+			return err
+		}
+		for _, k := range sinks {
+			msg, err := k.ConsumeTimeout(time.Second)
+			if err != nil {
+				return err
+			}
+			k.Release(msg)
+		}
+		return nil
+	}
+	for i := 0; i < hotpathWarmup; i++ {
+		if err := op(); err != nil {
+			return bench.HotpathResult{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	return bench.MeasureHotpath(name, iters, op)
+}

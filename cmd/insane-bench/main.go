@@ -7,6 +7,7 @@
 //	insane-bench -experiment fig7a
 //	insane-bench -list
 //	insane-bench -rounds 1000 -jobs 20000
+//	insane-bench -hotpath BENCH_hotpath.json   # hot-path baseline only
 package main
 
 import (
@@ -33,6 +34,8 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		rounds     = fs.Int("rounds", 0, "ping-pong rounds for latency experiments (0 = default)")
 		jobs       = fs.Int("jobs", 0, "messages for simulated throughput runs (0 = default)")
+		hotpath    = fs.String("hotpath", "", "measure the hot-path suite and write this JSON baseline file")
+		hotIters   = fs.Int("hotpath-iters", 20000, "iterations per hot-path measurement")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,6 +43,15 @@ func run(args []string) error {
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return nil
+	}
+	if *hotpath != "" {
+		if err := runHotpath(*hotpath, *hotIters); err != nil {
+			return err
+		}
+		// Baseline mode runs the experiments only when explicitly asked.
+		if *experiment == "all" {
+			return nil
+		}
 	}
 	cfg := experiments.RunConfig{Rounds: *rounds, Jobs: *jobs}
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -33,5 +35,28 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunHotpath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hotpath.json")
+	if err := run([]string{"-hotpath", path, "-hotpath-iters", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"emit-consume-local/64B", "ns_per_op", "allocs_per_op", "bytes_per_op"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("baseline file missing %q", want)
+		}
+	}
+}
+
+func TestRunHotpathBadIters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hotpath.json")
+	if err := run([]string{"-hotpath", path, "-hotpath-iters", "0"}); err == nil {
+		t.Fatal("zero iterations accepted")
 	}
 }

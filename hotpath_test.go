@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"github.com/insane-mw/insane/insane"
+)
+
+// TestSteadyStateZeroAlloc gates the headline property of the hot-path
+// work: the steady-state publish path — GetBuffer → Emit → drainTX →
+// dispatch → shared-memory delivery → Consume → Release — performs zero
+// heap allocations per message once the pools and topology snapshots are
+// warm. A regression here fails `go test ./...`, not just a human
+// reading benchstat.
+//
+// testing.AllocsPerRun counts process-wide mallocs (all goroutines), so
+// an allocation smuggled into the polling threads trips the gate too.
+// The cluster is kernel-only and otherwise quiet for the same reason.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the gate measures the plain build")
+	}
+	cluster, err := insane.NewCluster(insane.ClusterOptions{
+		Nodes: []insane.NodeSpec{{Name: "a"}, {Name: "b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	sess, err := cluster.Node("a").InitSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.CreateStream(insane.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := st.CreateSink(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := st.CreateSource(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	op := func() {
+		buf, err := src.GetBuffer(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Emit(buf, 64); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := sink.ConsumeTimeout(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink.Release(msg)
+	}
+
+	// Warm the wrapper pools, poller env caches, timer pool and topology
+	// snapshots: first messages pay one-time costs by design.
+	for i := 0; i < 500; i++ {
+		op()
+	}
+
+	// Retry once: AllocsPerRun is precise about mallocs but shares the
+	// process with the Go runtime itself (e.g. a background GC starting
+	// mid-run can allocate), so a single nonzero reading gets one
+	// re-check before it fails the build.
+	var avg float64
+	for attempt := 0; attempt < 2; attempt++ {
+		avg = testing.AllocsPerRun(200, op)
+		if avg == 0 {
+			return
+		}
+	}
+	t.Fatalf("steady-state publish path allocates: %.2f allocs/op, want 0", avg)
+}

@@ -219,6 +219,16 @@ type Buffer struct {
 	inner   *core.Buffer
 }
 
+// Wrapper free lists, mirroring the core layer's: the public Buffer and
+// Message structs are recycled when ownership returns to the library
+// (successful Emit / Abort / Release), which the API contract — never
+// touch a buffer after Emit, a message after Release — makes safe.
+var (
+	bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+	messagePool = sync.Pool{New: func() any { return new(Message) }}
+)
+
 // Source is a data producer on one channel.
 type Source struct {
 	h *core.SourceHandle
@@ -234,14 +244,17 @@ func (s *Source) GetBuffer(size int) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Buffer{Payload: b.Payload, inner: b}, nil
+	out := bufferPool.Get().(*Buffer)
+	*out = Buffer{Payload: b.Payload, inner: b}
+	return out, nil
 }
 
 // Abort returns an unsent buffer to the pool.
 func (s *Source) Abort(b *Buffer) {
 	if b != nil && b.inner != nil {
 		s.h.Abort(b.inner)
-		b.inner = nil
+		*b = Buffer{}
+		bufferPool.Put(b)
 	}
 }
 
@@ -269,7 +282,9 @@ func (s *Source) Emit(b *Buffer, n int) (uint32, error) {
 	}
 	seq, err := s.h.Emit(b.inner, n)
 	if err == nil {
-		b.inner = nil // ownership moved to the runtime
+		// Ownership moved to the runtime; recycle the dead wrapper.
+		*b = Buffer{}
+		bufferPool.Put(b)
 	}
 	return seq, err
 }
@@ -356,8 +371,8 @@ func (k *Sink) ConsumeTimeout(d time.Duration) (*Message, error) {
 func (k *Sink) Release(m *Message) {
 	if m != nil && m.d != nil {
 		k.h.Release(m.d)
-		m.d = nil
-		m.Payload = nil
+		*m = Message{}
+		messagePool.Put(m)
 	}
 }
 
@@ -406,10 +421,12 @@ func (k *Sink) dispatch(cb DataCallback) {
 
 // wrapDelivery adapts a core delivery to the public Message.
 func wrapDelivery(d *core.Delivery) *Message {
-	return &Message{
+	m := messagePool.Get().(*Message)
+	*m = Message{
 		Payload: d.Payload,
 		Channel: int(d.Channel),
 		Latency: d.VTime.Duration(),
 		d:       d,
 	}
+	return m
 }

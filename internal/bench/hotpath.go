@@ -1,0 +1,86 @@
+// Hot-path measurement harness: wall-clock ns/op plus allocation
+// counters for the middleware's steady-state operations, emitted as
+// machine-readable JSON (BENCH_hotpath.json) so successive PRs have a
+// perf trajectory to regress against. The paper's headline claim is
+// ns-scale runtime overhead (§6.2); this file is how the repository
+// keeps that claim honest over time.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// HotpathResult is one measured hot-path operation.
+type HotpathResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// String renders a result the way `go test -bench` does.
+func (r HotpathResult) String() string {
+	return fmt.Sprintf("%-28s %8d iters  %10.1f ns/op  %7.2f allocs/op  %9.1f B/op",
+		r.Name, r.Iters, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+}
+
+// MeasureHotpath times iters invocations of op and reports per-op wall
+// time and allocation deltas. Allocation counters are process-wide
+// (runtime.MemStats), so background activity — the runtime's polling
+// threads included — counts against the measured path; that is
+// deliberate: an allocation smuggled into the poller is still a hot-path
+// allocation. Callers should warm the path first so one-time pool fills
+// don't bill the steady state.
+func MeasureHotpath(name string, iters int, op func() error) (HotpathResult, error) {
+	if iters <= 0 {
+		return HotpathResult{}, fmt.Errorf("bench: iters must be positive, got %d", iters)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return HotpathResult{}, fmt.Errorf("bench: %s iter %d: %w", name, i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return HotpathResult{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}, nil
+}
+
+// HotpathBaseline is the schema of BENCH_hotpath.json.
+type HotpathBaseline struct {
+	// Note documents what the numbers are for readers of the file.
+	Note    string          `json:"note"`
+	Results []HotpathResult `json:"results"`
+}
+
+// WriteHotpathJSON writes the baseline file, indented for diff-friendly
+// commits.
+func WriteHotpathJSON(path string, results []HotpathResult) error {
+	b := HotpathBaseline{
+		Note: "Steady-state hot-path baseline (wall-clock; allocation counters " +
+			"are process-wide). Regenerate with `make bench-baseline`.",
+		Results: results,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -91,6 +91,8 @@ func (c *ClientConn) txRing(tech model.Tech) (*ringbuf.MPMC[txToken], error) {
 		return nil, err
 	}
 	c.txRings[tech] = r
+	// New ring: invalidate the pollers' cached TX topology.
+	c.rt.topoEpoch.Add(1)
 	return r, nil
 }
 
@@ -297,6 +299,17 @@ type Buffer struct {
 	buf []byte
 }
 
+// Wrapper free lists: the Buffer and Delivery structs handed across the
+// API are recycled once ownership returns to the runtime (successful
+// Emit / Abort / Release). The ownership contract — enforced by the
+// insanevet bufownership rule — already forbids touching a wrapper after
+// those calls, which is exactly what makes pooling them safe.
+var (
+	bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+	deliveryPool = sync.Pool{New: func() any { return new(Delivery) }}
+)
+
 // Outcome reports what happened to an emitted message
 // (check_emit_outcome).
 type Outcome struct {
@@ -336,17 +349,21 @@ func (s *SourceHandle) GetBuffer(size int) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Buffer{
+	b := bufferPool.Get().(*Buffer)
+	*b = Buffer{
 		Slot:    slot,
 		Payload: buf[MsgHeadroom : MsgHeadroom+size],
 		buf:     buf,
-	}, nil
+	}
+	return b, nil
 }
 
 // Abort returns an unsent buffer to the pool.
 func (s *SourceHandle) Abort(b *Buffer) {
-	if b != nil {
+	if b != nil && b.buf != nil {
 		_ = s.stream.conn.rt.mm.Release(b.Slot)
+		*b = Buffer{}
+		bufferPool.Put(b)
 	}
 }
 
@@ -386,8 +403,13 @@ func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 	tok.vtime = tok.vtime.Add(d)
 	tok.bd.Send += d
 	if !s.ring.TryPush(tok) {
+		// Backpressure: the caller keeps buffer ownership and may retry.
 		return 0, ErrBackpressure
 	}
+	// Ownership of the slot moved to the runtime; the wrapper is dead to
+	// the caller (bufownership rule) and can be recycled immediately.
+	*b = Buffer{}
+	bufferPool.Put(b)
 	s.stream.conn.rt.kickTX()
 	return seq, nil
 }
@@ -461,22 +483,55 @@ func (k *SinkHandle) TryConsume() (*Delivery, error) {
 	if !ok {
 		return nil, ErrNoData
 	}
-	return &Delivery{
+	d := deliveryPool.Get().(*Delivery)
+	*d = Delivery{
 		Slot:      tok.slot,
 		Payload:   tok.buf[tok.off : tok.off+tok.length],
 		Channel:   tok.channel,
 		VTime:     tok.vtime,
 		Breakdown: tok.bd,
-	}, nil
+	}
+	return d, nil
+}
+
+// timerPool recycles the deadline timers of blocking Consumes, so a
+// request/reply loop does not allocate a timer (plus its channel) per
+// message.
+var timerPool sync.Pool
+
+// getTimer returns a timer firing after d.
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer parks a timer, draining a pending fire so the next Reset
+// starts clean.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }
 
 // Consume blocks until a delivery arrives or the timeout elapses
 // (consume_data with the blocking flag). A zero timeout waits forever.
 func (k *SinkHandle) Consume(timeout time.Duration) (*Delivery, error) {
+	// Fast path: data is already queued — no timer needed.
+	d, err := k.TryConsume()
+	if err == nil || !errors.Is(err, ErrNoData) {
+		return d, err
+	}
 	var deadline <-chan time.Time
 	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
+		t := getTimer(timeout)
+		defer putTimer(t)
 		deadline = t.C
 	}
 	for {
@@ -498,9 +553,12 @@ func (k *SinkHandle) Consume(timeout time.Duration) (*Delivery, error) {
 // Release returns a consumed delivery's memory to the pool
 // (release_buffer).
 func (k *SinkHandle) Release(d *Delivery) {
-	if d != nil {
-		_ = k.stream.conn.rt.mm.Release(d.Slot)
+	if d == nil || d.Payload == nil {
+		return // nil or already-released delivery
 	}
+	_ = k.stream.conn.rt.mm.Release(d.Slot)
+	*d = Delivery{}
+	deliveryPool.Put(d)
 }
 
 // Close closes the sink, withdrawing its subscription (close_sink).

@@ -7,6 +7,7 @@ import (
 	"github.com/insane-mw/insane/internal/model"
 	"github.com/insane-mw/insane/internal/netstack"
 	"github.com/insane-mw/insane/internal/qos"
+	"github.com/insane-mw/insane/internal/ringbuf"
 )
 
 // Idle pacing: pollers back off exponentially when no work shows up and
@@ -26,10 +27,27 @@ type outMeta struct {
 	timing  qos.Timing
 }
 
+// pktEnv is the pooled envelope of an outgoing packet: the datapath
+// packet and its metadata travel together so one free-list recycle
+// covers both (the DPDK mbuf idiom — metadata lives in the buffer
+// descriptor, not in a companion allocation). The packet's Ctx points
+// back at the envelope so dispatch can recycle it.
+type pktEnv struct {
+	pkt  datapath.Packet
+	meta outMeta
+}
+
 // pollLoop is the body of one polling thread.
 func (r *Runtime) pollLoop(p *poller) {
 	defer r.wg.Done()
 	backoff := idleSleepMin
+	// One reusable timer for idle pacing; time.After would allocate a
+	// timer (and a channel) per idle iteration.
+	timer := time.NewTimer(idleSleepMax)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		select {
 		case <-p.stop:
@@ -39,8 +57,8 @@ func (r *Runtime) pollLoop(p *poller) {
 		p.loops.Add(1)
 		work := 0
 		gated := false
-		for _, st := range p.states {
-			work += r.drainTX(p, st)
+		for i, st := range p.states {
+			work += r.drainTX(p, &p.snaps[i], st)
 			work += r.pollRX(st)
 			st.schedMu.Lock()
 			if st.tas.Pending() > 0 {
@@ -58,12 +76,17 @@ func (r *Runtime) pollLoop(p *poller) {
 			// gate: poll finely so the open window is not missed.
 			sleep = idleSleepMin
 		}
+		timer.Reset(sleep)
 		select {
 		case <-p.stop:
 			return
 		case <-p.kick:
+			// Drain the still-armed timer so the next Reset starts clean.
+			if !timer.Stop() {
+				<-timer.C
+			}
 			backoff = idleSleepMin
-		case <-time.After(sleep):
+		case <-timer.C:
 			backoff *= 2
 			if backoff > idleSleepMax {
 				backoff = idleSleepMax
@@ -72,29 +95,63 @@ func (r *Runtime) pollLoop(p *poller) {
 	}
 }
 
-// drainTX moves tokens from the session rings through the scheduler and
-// out of the datapath. Returns the number of packets processed.
-func (r *Runtime) drainTX(p *poller, st *techState) int {
-	// 1. Pull tokens from every session's ring for this technology.
+// txSnap is a poller's cached view of the TX rings feeding one
+// technology. The ring set only changes when a session connects,
+// disconnects, or lazily creates a ring (txRing), so the poller rebuilds
+// it only when the runtime's topology epoch moves — the steady-state
+// drain pass touches no locks and no maps (RCU-style read path, §5.3).
+type txSnap struct {
+	epoch uint64
+	rings []*ringbuf.MPMC[txToken]
+}
+
+// refreshTxSnap rebuilds a poller's ring snapshot for one technology if
+// the conn topology changed since it was taken. The epoch is loaded
+// before the tables are read: a concurrent mutation either lands in this
+// rebuild or bumps the epoch past the one recorded here, forcing another
+// rebuild on the next pass.
+func (r *Runtime) refreshTxSnap(s *txSnap, tech model.Tech) {
+	epoch := r.topoEpoch.Load()
+	if epoch == s.epoch {
+		return
+	}
 	r.mu.RLock()
 	conns := r.connList
 	r.mu.RUnlock()
-
-	pulled := 0
+	s.rings = s.rings[:0]
 	for _, c := range conns {
 		c.mu.Lock()
-		ring := c.txRings[st.tech]
+		ring := c.txRings[tech]
 		c.mu.Unlock()
-		if ring == nil {
-			continue
+		if ring != nil {
+			s.rings = append(s.rings, ring)
 		}
+	}
+	s.epoch = epoch
+}
+
+// drainTX moves tokens from the session rings through the scheduler and
+// out of the datapath. Returns the number of packets processed.
+func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
+	// 1. Pull tokens from every session's ring for this technology, in
+	// bursts: one sequence-aware batch pop per ring visit instead of one
+	// CAS per token (opportunistic batching, §6.2).
+	r.refreshTxSnap(snap, st.tech)
+	pulled := 0
+	for _, ring := range snap.rings {
 		for pulled < r.burst {
-			tok, ok := ring.TryPop()
-			if !ok {
+			want := r.burst - pulled
+			if want > len(p.toks) {
+				want = len(p.toks)
+			}
+			n := ring.PopBatch(p.toks[:want])
+			if n == 0 {
 				break
 			}
-			r.enqueueToken(st, tok)
-			pulled++
+			for i := 0; i < n; i++ {
+				r.enqueueToken(p, st, p.toks[i])
+			}
+			pulled += n
 		}
 	}
 
@@ -110,20 +167,23 @@ func (r *Runtime) drainTX(p *poller, st *techState) int {
 	}
 
 	// 3. Dispatch the released packets.
-	r.dispatch(st, batch[:n])
+	r.dispatch(p, st, batch[:n])
 	return pulled + n
 }
 
 // enqueueToken converts a TX token into a packet and files it with the
-// stream's scheduler, charging the scheduling cost.
-func (r *Runtime) enqueueToken(st *techState, tok txToken) {
+// stream's scheduler, charging the scheduling cost. The packet envelope
+// comes from the poller's free list: ownership passes to the scheduler
+// and returns to a poller cache when dispatch recycles it.
+func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken) {
 	buf, err := r.mm.Buf(tok.slot)
 	if err != nil {
 		// The session died between Emit and drain; nothing to send.
 		tok.src.recordOutcome(Outcome{Seq: tok.seq, Err: err})
 		return
 	}
-	pkt := &datapath.Packet{
+	env := p.envs.Get()
+	env.pkt = datapath.Packet{
 		Slot:      tok.slot,
 		Buf:       buf,
 		Off:       headroomOffset,
@@ -132,30 +192,33 @@ func (r *Runtime) enqueueToken(st *techState, tok txToken) {
 		Src:       st.local,
 		VTime:     tok.vtime,
 		Breakdown: tok.bd,
-		Ctx:       &outMeta{src: tok.src, seq: tok.seq, channel: tok.channel, timing: tok.timing},
+		Ctx:       env,
 	}
-	pkt.Charge(r.rc.Sched, tok.msgLen, 1, r.tb)
+	env.meta = outMeta{src: tok.src, seq: tok.seq, channel: tok.channel, timing: tok.timing}
+	env.pkt.Charge(r.rc.Sched, tok.msgLen, 1, r.tb)
 	st.schedMu.Lock()
 	if tok.timing == qos.TimingSensitive {
-		st.tas.Enqueue(pkt, r.clock.Now())
+		st.tas.Enqueue(&env.pkt, r.clock.Now())
 	} else {
-		st.fifo.Enqueue(pkt, 0)
+		st.fifo.Enqueue(&env.pkt, 0)
 	}
 	st.schedMu.Unlock()
 }
 
 // dispatch fans a batch of packets out to local sinks and remote peers,
-// records outcomes, and recycles the slots.
-func (r *Runtime) dispatch(st *techState, batch []*datapath.Packet) {
+// records outcomes, and recycles the slots and packet envelopes.
+func (r *Runtime) dispatch(p *poller, st *techState, batch []*datapath.Packet) {
 	for _, pkt := range batch {
-		meta, ok := pkt.Ctx.(*outMeta)
+		env, ok := pkt.Ctx.(*pktEnv)
 		if !ok {
 			_ = r.mm.Release(pkt.Slot)
 			continue
 		}
+		meta := &env.meta
 
 		// Local sinks first: co-located source/sink pairs communicate
-		// through shared memory directly (§5.1).
+		// through shared memory directly (§5.1). The snapshot slice is
+		// shared and read-only.
 		sinks := r.sinksFor(meta.channel)
 		if len(sinks) > 0 {
 			_ = r.mm.AddRef(pkt.Slot, len(sinks))
@@ -167,7 +230,7 @@ func (r *Runtime) dispatch(st *techState, batch []*datapath.Packet) {
 		sent := 0
 		var sendErr error
 		for _, sub := range subs {
-			if err := r.sendToPeer(st, pkt, sub); err != nil {
+			if err := r.sendToPeer(p, st, pkt, sub); err != nil {
 				sendErr = err
 				continue
 			}
@@ -183,6 +246,9 @@ func (r *Runtime) dispatch(st *techState, batch []*datapath.Packet) {
 			r.txMessages.Add(uint64(sent))
 		}
 		_ = r.mm.Release(pkt.Slot)
+		env.pkt.Buf = nil
+		env.pkt.Ctx = nil
+		p.envs.Put(env)
 	}
 }
 
@@ -190,7 +256,7 @@ func (r *Runtime) dispatch(st *techState, batch []*datapath.Packet) {
 // technology plane: the stream's own technology when the peer has it,
 // otherwise the technology the peer asked for in its subscription,
 // otherwise the kernel plane (counted as a downgrade).
-func (r *Runtime) sendToPeer(st *techState, pkt *datapath.Packet, sub remoteSub) error {
+func (r *Runtime) sendToPeer(p *poller, st *techState, pkt *datapath.Packet, sub remoteSub) error {
 	target := st
 	if _, ok := sub.peer.Addrs[st.tech]; !ok {
 		// The peer cannot receive on this plane: honor its subscription
@@ -212,8 +278,12 @@ func (r *Runtime) sendToPeer(st *techState, pkt *datapath.Packet, sub remoteSub)
 	dst := netstack.Endpoint{IP: ip, Port: TechPort(target.tech)}
 
 	// Per-peer packet copy: charges and framing are destination-specific
-	// while the slot bytes are shared (the wire copies on Transmit).
-	out := *pkt
+	// while the slot bytes are shared (the wire copies on Transmit). The
+	// copy lives in the poller's scratch, not on the heap: every plugin
+	// Send is synchronous and the fabric copies frame bytes, so the
+	// scratch is free again when Send returns.
+	out := &p.sendPkt
+	*out = *pkt
 	out.Ctx = nil
 
 	if target.info.NeedsUserStack {
@@ -239,9 +309,10 @@ func (r *Runtime) sendToPeer(st *techState, pkt *datapath.Packet, sub remoteSub)
 		out.Framed = true
 	}
 
+	p.sendVec[0] = out
 	target.mu.Lock()
 	defer target.mu.Unlock()
-	_, err := target.ep.Send([]*datapath.Packet{&out}, dst)
+	_, err := target.ep.Send(p.sendVec[:], dst)
 	return err
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled lets the allocation gates skip under the race detector,
+// whose instrumentation allocates on paths that are otherwise clean.
+const raceEnabled = false

@@ -128,6 +128,21 @@ type Runtime struct {
 	// rebuilt whenever a session connects or disconnects.
 	connList []*ClientConn
 
+	// topoEpoch versions the (conn, tech)→TX-ring topology. It is bumped
+	// after every mutation (session connect/disconnect, lazy ring
+	// creation) so pollers rebuild their txSnap caches only when the
+	// topology actually moved, instead of locking c.mu per conn per pass.
+	topoEpoch atomic.Uint64
+
+	// sinkSnap is the immutable channel→sinks dispatch table the pollers
+	// read (RCU-style: registerSink/unregisterSink publish a fresh copy,
+	// readers never lock or copy). r.sinks under r.mu stays the mutable
+	// source of truth.
+	sinkSnap atomic.Pointer[map[uint32][]*SinkHandle]
+
+	// envPool backs the pollers' packet-envelope free lists.
+	envPool *mempool.CachePool[*pktEnv]
+
 	nextConnID   atomic.Int32
 	nextStreamID atomic.Uint64
 
@@ -151,6 +166,19 @@ type poller struct {
 	// batch is the poller's scratch dequeue buffer (no per-iteration
 	// allocation on the hot path).
 	batch []*datapath.Packet
+	// toks is the scratch buffer for batched TX-ring pops.
+	toks []txToken
+	// snaps caches the TX-ring topology per served techState (parallel
+	// to states), rebuilt only when the runtime's topoEpoch moves.
+	snaps []txSnap
+	// envs is this poller's private packet-envelope free list (DPDK's
+	// per-lcore mempool cache); spills and refills go through the
+	// runtime-wide shared ring, so envelopes may migrate between pollers.
+	envs *mempool.Cache[*pktEnv]
+	// sendPkt/sendVec are the scratch destination-specific packet copy
+	// and send vector for sendToPeer (plugin Sends are synchronous).
+	sendPkt datapath.Packet
+	sendVec [1]*datapath.Packet
 	// loops counts polling iterations; session close uses it to wait for
 	// full passes so in-flight tokens drain before slots are reclaimed.
 	loops atomic.Uint64
@@ -198,6 +226,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		burst: burst,
 		conns: make(map[mempool.Owner]*ClientConn),
 		sinks: make(map[uint32][]*SinkHandle),
+	}
+	r.publishSinksLocked()
+	r.envPool, err = mempool.NewCachePool(envSharedCap, func() *pktEnv { return new(pktEnv) })
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	alloc := func(size int) (mempool.SlotID, []byte, error) {
@@ -266,6 +299,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			kick:   make(chan struct{}, 1),
 			stop:   make(chan struct{}),
 			batch:  make([]*datapath.Packet, burst),
+			toks:   make([]txToken, burst),
+			snaps:  make([]txSnap, len(g)),
+			envs:   r.envPool.NewCache(envLocalCap),
 		}
 		r.pollers = append(r.pollers, p)
 		r.wg.Add(1)
@@ -273,6 +309,15 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	return r, nil
 }
+
+// Envelope free-list sizing: the local cap absorbs a few bursts of
+// in-flight packets per poller; the shared ring rebalances envelopes
+// that were enqueued by one poller and recycled by another (§8's
+// multi-threaded datapath). Misses just hit the allocator.
+const (
+	envSharedCap = 1024
+	envLocalCap  = 256
+)
 
 // Name returns the runtime's configured name.
 func (r *Runtime) Name() string { return r.name }
@@ -324,6 +369,7 @@ func (r *Runtime) Connect() (*ClientConn, error) {
 	r.mu.Lock()
 	r.conns[c.id] = c
 	r.rebuildConnListLocked()
+	r.topoEpoch.Add(1)
 	r.mu.Unlock()
 	return c, nil
 }
@@ -343,6 +389,7 @@ func (r *Runtime) dropConn(c *ClientConn) {
 	r.mu.Lock()
 	delete(r.conns, c.id)
 	r.rebuildConnListLocked()
+	r.topoEpoch.Add(1)
 	r.mu.Unlock()
 	if n := r.mm.ReleaseOwner(c.id); n > 0 {
 		r.warnf("session %d: reclaimed %d leaked slots on detach", c.id, n)
@@ -447,6 +494,7 @@ func (r *Runtime) kickTX() {
 func (r *Runtime) registerSink(k *SinkHandle) error {
 	r.mu.Lock()
 	r.sinks[k.channel] = append(r.sinks[k.channel], k)
+	r.publishSinksLocked()
 	r.mu.Unlock()
 	return r.broadcastControl(kindSub, k.channel, k.stream.tech)
 }
@@ -468,21 +516,30 @@ func (r *Runtime) unregisterSink(k *SinkHandle) {
 		r.sinks[k.channel] = list
 	}
 	last := len(list) == 0
+	r.publishSinksLocked()
 	r.mu.Unlock()
 	if last && !r.stopped.Load() {
 		_ = r.broadcastControl(kindUnsub, k.channel, k.stream.tech)
 	}
 }
 
-// sinksFor snapshots the local sinks of a channel.
-func (r *Runtime) sinksFor(channel uint32) []*SinkHandle {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	list := r.sinks[channel]
-	if len(list) == 0 {
-		return nil
+// publishSinksLocked swaps in a fresh immutable copy of the dispatch
+// table; callers hold r.mu. Readers of the old snapshot keep a
+// consistent (if momentarily stale) view — the same grace-period
+// semantics the kernel's RCU gives its readers.
+func (r *Runtime) publishSinksLocked() {
+	m := make(map[uint32][]*SinkHandle, len(r.sinks))
+	for ch, list := range r.sinks {
+		m[ch] = append([]*SinkHandle(nil), list...)
 	}
-	return append([]*SinkHandle(nil), list...)
+	r.sinkSnap.Store(&m)
+}
+
+// sinksFor returns the immutable sink list of a channel. Callers must
+// not mutate the returned slice: it is shared by every reader of the
+// current snapshot.
+func (r *Runtime) sinksFor(channel uint32) []*SinkHandle {
+	return (*r.sinkSnap.Load())[channel]
 }
 
 // broadcastControl sends a SUB/UNSUB message for a channel to every peer

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/insane-mw/insane/internal/model"
 	"github.com/insane-mw/insane/internal/netstack"
@@ -33,6 +34,10 @@ type subTable struct {
 	byChannel map[uint32]map[string]remoteSub
 	// byIP resolves a control message's source IP to its peer.
 	byIP map[netstack.IPv4]*Peer
+	// snap is the immutable channel→subscriptions view the TX hot path
+	// reads; subscribe/unsubscribe publish a fresh copy so readers never
+	// lock, copy, or walk the nested maps per packet.
+	snap atomic.Pointer[map[uint32][]remoteSub]
 }
 
 // newSubTable indexes the static peer set.
@@ -47,7 +52,22 @@ func newSubTable(peers []Peer) *subTable {
 			t.byIP[ip] = p
 		}
 	}
+	t.publishLocked()
 	return t
+}
+
+// publishLocked rebuilds the read snapshot; callers hold t.mu (or own
+// the table exclusively, as in newSubTable).
+func (t *subTable) publishLocked() {
+	m := make(map[uint32][]remoteSub, len(t.byChannel))
+	for ch, peers := range t.byChannel {
+		list := make([]remoteSub, 0, len(peers))
+		for _, s := range peers {
+			list = append(list, s)
+		}
+		m[ch] = list
+	}
+	t.snap.Store(&m)
 }
 
 // peerByIP resolves the peer owning an address.
@@ -68,6 +88,7 @@ func (t *subTable) subscribe(channel uint32, peer *Peer, tech model.Tech) {
 		t.byChannel[channel] = m
 	}
 	m[peer.Name] = remoteSub{peer: peer, tech: tech}
+	t.publishLocked()
 }
 
 // unsubscribe removes a remote subscription.
@@ -80,21 +101,14 @@ func (t *subTable) unsubscribe(channel uint32, peer *Peer) {
 			delete(t.byChannel, channel)
 		}
 	}
+	t.publishLocked()
 }
 
-// subscribers returns a snapshot of the remote subscriptions for a channel.
+// subscribers returns the immutable subscription list of a channel.
+// Callers must not mutate the returned slice: it is shared by every
+// reader of the current snapshot.
 func (t *subTable) subscribers(channel uint32) []remoteSub {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	m := t.byChannel[channel]
-	if len(m) == 0 {
-		return nil
-	}
-	out := make([]remoteSub, 0, len(m))
-	for _, s := range m {
-		out = append(out, s)
-	}
-	return out
+	return (*t.snap.Load())[channel]
 }
 
 // count returns how many peers subscribed to a channel.

@@ -11,7 +11,11 @@
 //   - any use of a buffer variable after it was passed to Emit/Abort;
 //   - any use of a message variable after it was passed to Release,
 //     including a second Release (double release corrupts the slot
-//     reference counts).
+//     reference counts);
+//   - any use of a pooled packet envelope (*Packet / *pktEnv) after it
+//     was returned to a free list via Put or Recycle — the poller free
+//     lists recycle envelopes concurrently, so a stale reference races
+//     with the envelope's next owner exactly like a released slot.
 //
 // The one sanctioned exception is the backpressure protocol: Emit
 // returns ErrBackpressure *without* taking ownership, so uses guarded
@@ -240,9 +244,9 @@ func applyKills(pass *analysis.Pass, exprs []ast.Expr, st state) []string {
 	return killed
 }
 
-// killerCall recognizes Emit/Abort/Release calls that transfer
-// ownership of their first argument, returning the verb and the
-// argument's canonical key.
+// killerCall recognizes Emit/Abort/Release/Put/Recycle calls that
+// transfer ownership of their first argument, returning the verb and
+// the argument's canonical key.
 func killerCall(pass *analysis.Pass, call *ast.CallExpr) (verb, key string, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel || len(call.Args) == 0 {
@@ -255,6 +259,10 @@ func killerCall(pass *analysis.Pass, call *ast.CallExpr) (verb, key string, ok b
 		wantTypes = []string{"Buffer"}
 	case "Release":
 		wantTypes = []string{"Message", "Delivery"}
+	case "Put", "Recycle":
+		// Free-list recycle of a pooled packet envelope: the next Get
+		// may hand the same object to another message immediately.
+		wantTypes = []string{"Packet", "pktEnv"}
 	default:
 		return "", "", false
 	}

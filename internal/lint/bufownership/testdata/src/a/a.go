@@ -132,3 +132,64 @@ func suppressed(s *Source) {
 	//lint:ignore insanevet/bufownership fixture proving the suppression path
 	b.Payload[0] = 1
 }
+
+// Packet mimics datapath.Packet: the runtime-internal descriptor that
+// rides through the schedulers and free lists.
+type Packet struct {
+	Len int
+	Ctx any
+}
+
+// pktEnv mimics the core package's pooled packet envelope.
+type pktEnv struct {
+	pkt Packet
+}
+
+// cache mimes the mempool per-poller free list for packet envelopes.
+type cache struct{}
+
+func (c *cache) Get() *pktEnv      { return &pktEnv{} }
+func (c *cache) Put(e *pktEnv)     { _ = e }
+func (c *cache) Recycle(p *Packet) { _ = p }
+
+// Seeded violation 6: touching a pooled envelope after it returned to
+// the free list — the next Get may already have handed it out.
+func useAfterPut(c *cache) int {
+	e := c.Get()
+	c.Put(e)
+	return e.pkt.Len // want `e used after Put`
+}
+
+// Seeded violation 7: double recycle hands the same envelope to two
+// owners.
+func doublePut(c *cache) {
+	e := c.Get()
+	c.Put(e)
+	c.Put(e) // want `e used after Put`
+}
+
+// Seeded violation 8: the Recycle spelling kills a *Packet the same way.
+func useAfterRecycle(c *cache, p *Packet) {
+	c.Recycle(p)
+	p.Ctx = nil // want `p used after Recycle`
+}
+
+// Getting a fresh envelope under the same name re-establishes ownership.
+func reuseEnvVariable(c *cache) {
+	e := c.Get()
+	c.Put(e)
+	e = c.Get()
+	e.pkt.Len = 1 // ok: fresh envelope under the same name
+	c.Put(e)
+}
+
+// A Put of an unrelated pooled type (sync.Pool idiom on wrappers) is not
+// a packet recycle and must not start tracking.
+type otherPool struct{}
+
+func (p *otherPool) Put(v any) { _ = v }
+
+func unrelatedPut(p *otherPool, b *Buffer) {
+	p.Put(b)
+	_ = b.Payload // ok: Put of a non-packet type is not tracked
+}

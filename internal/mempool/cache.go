@@ -1,0 +1,138 @@
+// Per-poller object caches, modeled on DPDK's per-lcore mempool cache:
+// each polling thread keeps a small private free list of hot objects and
+// only touches the shared (lock-free, but cache-line-bouncing) ring when
+// the private list runs dry or overflows. On the steady-state path a
+// Get/Put pair is two slice operations on thread-private memory — no
+// atomics, no allocation — which is what keeps the runtime's per-message
+// overhead at the ns scale the paper claims (§5.3, §6.2).
+//
+// Objects can migrate between caches: a packet wrapper allocated by the
+// polling thread that drained the TX ring may be recycled by a different
+// thread that dispatched it (the paper's §8 multi-threaded datapath).
+// The shared overflow ring is what rebalances the private lists in that
+// regime.
+
+package mempool
+
+import (
+	"sync/atomic"
+
+	"github.com/insane-mw/insane/internal/ringbuf"
+)
+
+// CachePool is the shared backing store of a family of Caches holding
+// the same object kind: a bounded MPMC ring that absorbs overflow from
+// one cache and refills another, plus the constructor for cold misses.
+type CachePool[T any] struct {
+	shared *ringbuf.MPMC[T]
+	newT   func() T
+}
+
+// NewCachePool creates the shared store. sharedCap bounds how many idle
+// objects the pool retains across all caches (excess is dropped to the
+// GC); newT constructs an object on a cold miss.
+func NewCachePool[T any](sharedCap int, newT func() T) (*CachePool[T], error) {
+	ring, err := ringbuf.NewMPMC[T](sharedCap)
+	if err != nil {
+		return nil, err
+	}
+	return &CachePool[T]{shared: ring, newT: newT}, nil
+}
+
+// NewCache creates one private cache over the pool. localCap bounds the
+// private free list; the canonical owner is a single goroutine (Get/Put
+// are not safe for concurrent use on the same Cache, matching DPDK's
+// per-lcore contract), while distinct Caches of one pool may run
+// concurrently.
+func (p *CachePool[T]) NewCache(localCap int) *Cache[T] {
+	if localCap < 1 {
+		localCap = 1
+	}
+	return &Cache[T]{pool: p, local: make([]T, 0, localCap)}
+}
+
+// CacheStats reports cumulative cache activity.
+type CacheStats struct {
+	// Hits counts Gets served from the private free list (the
+	// zero-atomic fast path).
+	Hits uint64
+	// Refills counts Gets served from the shared ring.
+	Refills uint64
+	// Misses counts Gets that had to construct a fresh object.
+	Misses uint64
+	// Recycles counts Puts absorbed by the private list or shared ring.
+	Recycles uint64
+	// Drops counts Puts discarded to the GC because both were full.
+	Drops uint64
+}
+
+// Cache is one private free list. See CachePool.NewCache for the
+// ownership contract.
+type Cache[T any] struct {
+	pool  *CachePool[T]
+	local []T
+
+	// Stats are atomics only so a monitoring goroutine may read them
+	// while the owner runs; the owner is still the only writer.
+	hits, refills, misses, recycles, drops atomic.Uint64
+}
+
+// Get returns a recycled object, preferring the private list, then the
+// shared ring, then a fresh construction. The caller owns the result
+// until Put.
+func (c *Cache[T]) Get() T {
+	if n := len(c.local); n > 0 {
+		v := c.local[n-1]
+		var zero T
+		c.local[n-1] = zero
+		c.local = c.local[:n-1]
+		c.hits.Add(1)
+		return v
+	}
+	if v, ok := c.pool.shared.TryPop(); ok {
+		c.refills.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	return c.pool.newT()
+}
+
+// Put recycles an object. Ownership passes back to the cache: the caller
+// must not use v afterwards (the same protocol the insanevet
+// bufownership rule enforces for Emit/Release).
+func (c *Cache[T]) Put(v T) {
+	if len(c.local) < cap(c.local) {
+		c.local = append(c.local, v)
+		c.recycles.Add(1)
+		return
+	}
+	// Private list full: spill half of it to the shared ring so bursts
+	// of frees don't thrash the shared ring one element at a time.
+	spill := cap(c.local) / 2
+	kept := len(c.local) - spill
+	moved := 0
+	if spill > 0 {
+		moved = c.pool.shared.PushBatch(c.local[kept:])
+	}
+	var zero T
+	for i := kept + moved; i < len(c.local); i++ {
+		c.drops.Add(1) // shared ring full too: drop to the GC
+		c.local[i] = zero
+	}
+	for i := kept; i < kept+moved; i++ {
+		c.local[i] = zero
+	}
+	c.local = append(c.local[:kept], v)
+	c.recycles.Add(1)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[T]) Stats() CacheStats {
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Refills:  c.refills.Load(),
+		Misses:   c.misses.Load(),
+		Recycles: c.recycles.Load(),
+		Drops:    c.drops.Load(),
+	}
+}

@@ -27,8 +27,16 @@ type MPMC[T any] struct {
 }
 
 // NewMPMC returns an MPMC ring holding up to capacity elements.
-// Capacity is rounded up to the next power of two and must be at least 1.
+// Capacity is rounded up to the next power of two and must be at least 1;
+// a capacity of 1 is silently promoted to 2 because Vyukov's sequence
+// encoding cannot distinguish "free for position p+1" from "published at
+// position p" when both map to the same cell one lap apart (a push into
+// a full 1-cell ring would overwrite the unconsumed element and wedge
+// the consumer).
 func NewMPMC[T any](capacity int) (*MPMC[T], error) {
+	if capacity == 1 {
+		capacity = 2
+	}
 	n, err := ceilPow2(capacity)
 	if err != nil {
 		return nil, fmt.Errorf("ringbuf: %w", err)
@@ -89,6 +97,92 @@ func (q *MPMC[T]) TryPop() (T, bool) {
 			// Another consumer claimed pos; reload and retry.
 			pos = q.head.Load()
 		}
+	}
+}
+
+// PushBatch appends up to len(src) elements and returns how many were
+// accepted. The claim is sequence-aware: the producer first counts how
+// many consecutive cells starting at the current tail are free (seq ==
+// position), then claims the whole run with one CAS, so a burst costs
+// one atomic RMW instead of one per element — the MPMC analogue of the
+// SPSC PopBatch that the paper's opportunistic batching relies on
+// (§6.2). Elements are published in order; concurrent consumers may
+// start popping the front of the run before the tail is written.
+func (q *MPMC[T]) PushBatch(src []T) int {
+	if len(src) == 0 {
+		return 0
+	}
+	for {
+		pos := q.tail.Load()
+		// Count the run of free cells at pos. Cell states only move
+		// forward (free → published → free-next-lap), and no producer
+		// can claim these positions before our tail CAS succeeds, so an
+		// observed free cell stays free until we own it.
+		n := uint64(0)
+		for n < uint64(len(src)) {
+			cell := &q.cells[(pos+n)&q.mask]
+			if cell.seq.Load() != pos+n {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			// Front cell not free: either full, or a racing producer
+			// advanced tail between our loads — reload to distinguish.
+			if q.tail.Load() == pos {
+				return 0 // genuinely full
+			}
+			continue
+		}
+		if !q.tail.CompareAndSwap(pos, pos+n) {
+			continue // lost the claim race; retry with fresh tail
+		}
+		for i := uint64(0); i < n; i++ {
+			cell := &q.cells[(pos+i)&q.mask]
+			cell.val = src[i]
+			cell.seq.Store(pos + i + 1) // publish
+		}
+		return int(n)
+	}
+}
+
+// PopBatch removes up to len(dst) elements into dst and returns the
+// count. Like PushBatch, it counts the run of published cells at the
+// current head (seq == position+1), claims the run with one CAS, and
+// only then reads the values: once the CAS succeeds no other consumer
+// can touch those positions, and producers cannot reuse them until each
+// cell's seq is bumped to the next lap.
+func (q *MPMC[T]) PopBatch(dst []T) int {
+	var zero T
+	if len(dst) == 0 {
+		return 0
+	}
+	for {
+		pos := q.head.Load()
+		n := uint64(0)
+		for n < uint64(len(dst)) {
+			cell := &q.cells[(pos+n)&q.mask]
+			if cell.seq.Load() != pos+n+1 {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			if q.head.Load() == pos {
+				return 0 // genuinely empty
+			}
+			continue
+		}
+		if !q.head.CompareAndSwap(pos, pos+n) {
+			continue
+		}
+		for i := uint64(0); i < n; i++ {
+			cell := &q.cells[(pos+i)&q.mask]
+			dst[i] = cell.val
+			cell.val = zero
+			cell.seq.Store(pos + i + q.mask + 1) // free for next lap
+		}
+		return int(n)
 	}
 }
 

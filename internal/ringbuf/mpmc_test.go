@@ -13,6 +13,40 @@ func TestNewMPMCInvalidCapacity(t *testing.T) {
 	}
 }
 
+// TestMPMCCapacityOnePromoted: a capacity-1 request is promoted to 2
+// cells. With a single cell, Vyukov's seq encoding cannot tell "free for
+// position p+1" from "published at position p", so a push into a full
+// ring would overwrite the unconsumed element and wedge TryPop forever.
+func TestMPMCCapacityOnePromoted(t *testing.T) {
+	q, err := NewMPMC[int](1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 2 {
+		t.Fatalf("Cap() = %d, want 2", q.Cap())
+	}
+	// Fill, overflow, and drain repeatedly: every accepted element must
+	// come back out, and a full ring must reject pushes rather than
+	// corrupt itself.
+	for lap := 0; lap < 4; lap++ {
+		if !q.TryPush(10*lap) || !q.TryPush(10*lap+1) {
+			t.Fatalf("lap %d: push into empty ring failed", lap)
+		}
+		if q.TryPush(99) || q.PushBatch([]int{99}) != 0 {
+			t.Fatalf("lap %d: push into full ring succeeded", lap)
+		}
+		for i := 0; i < 2; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != 10*lap+i {
+				t.Fatalf("lap %d: TryPop = %d,%v want %d,true", lap, v, ok, 10*lap+i)
+			}
+		}
+		if _, ok := q.TryPop(); ok {
+			t.Fatalf("lap %d: TryPop succeeded on empty ring", lap)
+		}
+	}
+}
+
 func TestMPMCPushPopOrderSingleThread(t *testing.T) {
 	q, err := NewMPMC[int](8)
 	if err != nil {
@@ -195,6 +229,249 @@ func TestMPMCQuickFIFO(t *testing.T) {
 	}
 }
 
+func TestMPMCBatchEmptyAndFull(t *testing.T) {
+	q, err := NewMPMC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, 8)
+	if n := q.PopBatch(dst); n != 0 {
+		t.Fatalf("PopBatch on empty ring = %d, want 0", n)
+	}
+	if n := q.PopBatch(nil); n != 0 {
+		t.Fatalf("PopBatch(nil) = %d, want 0", n)
+	}
+	if n := q.PushBatch([]int{1, 2, 3, 4, 5, 6}); n != 4 {
+		t.Fatalf("PushBatch into empty ring of 4 = %d, want 4", n)
+	}
+	if n := q.PushBatch([]int{7}); n != 0 {
+		t.Fatalf("PushBatch into full ring = %d, want 0", n)
+	}
+	if n := q.PushBatch(nil); n != 0 {
+		t.Fatalf("PushBatch(nil) = %d, want 0", n)
+	}
+	n := q.PopBatch(dst)
+	if n != 4 {
+		t.Fatalf("PopBatch = %d, want 4", n)
+	}
+	for i, v := range dst[:n] {
+		if v != i+1 {
+			t.Fatalf("dst[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestMPMCBatchPartial: a batch pop takes only what is published, and a
+// batch push only what fits.
+func TestMPMCBatchPartial(t *testing.T) {
+	q, err := NewMPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := q.PushBatch([]int{10, 11, 12}); n != 3 {
+		t.Fatalf("PushBatch = %d, want 3", n)
+	}
+	dst := make([]int, 8)
+	if n := q.PopBatch(dst[:2]); n != 2 || dst[0] != 10 || dst[1] != 11 {
+		t.Fatalf("PopBatch(2) = %d (%v), want 2 (10 11)", n, dst[:2])
+	}
+	// 1 element left, 7 free: an oversized push is truncated to the room.
+	big := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if n := q.PushBatch(big); n != 7 {
+		t.Fatalf("PushBatch(10) with 7 free = %d, want 7", n)
+	}
+	want := []int{12, 0, 1, 2, 3, 4, 5, 6}
+	if n := q.PopBatch(dst); n != 8 {
+		t.Fatalf("PopBatch = %d, want 8", n)
+	}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], w)
+		}
+	}
+}
+
+// TestMPMCBatchWrapAround pushes/pops batches across the index wrap many
+// laps, interleaved with the single-element operations.
+func TestMPMCBatchWrapAround(t *testing.T) {
+	q, err := NewMPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]int, 5)
+	dst := make([]int, 5)
+	next := 0 // next value to pop, verifying global FIFO order
+	seq := 0
+	for lap := 0; lap < 2000; lap++ {
+		for i := range src {
+			src[i] = seq
+			seq++
+		}
+		if n := q.PushBatch(src); n != 5 {
+			t.Fatalf("lap %d: PushBatch = %d, want 5", lap, n)
+		}
+		if lap%3 == 0 { // mix in the single-element path
+			v, ok := q.TryPop()
+			if !ok || v != next {
+				t.Fatalf("lap %d: TryPop = %d,%v want %d", lap, v, ok, next)
+			}
+			next++
+		}
+		for q.Len() > 3 {
+			n := q.PopBatch(dst)
+			if n == 0 {
+				t.Fatalf("lap %d: PopBatch returned 0 with %d queued", lap, q.Len())
+			}
+			for _, v := range dst[:n] {
+				if v != next {
+					t.Fatalf("lap %d: popped %d, want %d", lap, v, next)
+				}
+				next++
+			}
+		}
+	}
+}
+
+// TestMPMCBatchConcurrentExactlyOnce round-trips every token exactly once
+// through concurrent batch producers and batch consumers (run under
+// -race in CI).
+func TestMPMCBatchConcurrentExactlyOnce(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 5_000
+		batchMax  = 16
+	)
+	q, err := NewMPMC[int](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			buf := make([]int, 0, batchMax)
+			sent := 0
+			for sent < perProd {
+				buf = buf[:0]
+				for i := 0; i < batchMax && sent+len(buf) < perProd; i++ {
+					buf = append(buf, p*perProd+sent+len(buf))
+				}
+				rest := buf
+				for len(rest) > 0 {
+					n := q.PushBatch(rest)
+					rest = rest[n:]
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+				sent += len(buf)
+			}
+		}(p)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]int, producers*perProd)
+	var consWG sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			local := make(map[int]int)
+			dst := make([]int, batchMax)
+			drain := func() {
+				for {
+					n := q.PopBatch(dst)
+					if n == 0 {
+						return
+					}
+					for _, v := range dst[:n] {
+						local[v]++
+					}
+				}
+			}
+			for {
+				if n := q.PopBatch(dst); n > 0 {
+					for _, v := range dst[:n] {
+						local[v]++
+					}
+					continue
+				}
+				runtime.Gosched()
+				select {
+				case <-done:
+					drain()
+					mu.Lock()
+					for k, n := range local {
+						seen[k] += n
+					}
+					mu.Unlock()
+					return
+				default:
+				}
+			}
+		}()
+	}
+	prodWG.Wait()
+	close(done)
+	consWG.Wait()
+
+	if len(seen) != producers*perProd {
+		t.Fatalf("saw %d distinct values, want %d", len(seen), producers*perProd)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d seen %d times", k, n)
+		}
+	}
+}
+
+// TestMPMCBatchMixedWithSingle: batch producers against single-element
+// consumers (and vice versa) must still deliver exactly once.
+func TestMPMCBatchMixedWithSingle(t *testing.T) {
+	const total = 20_000
+	q, err := NewMPMC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		buf := make([]int, 7)
+		v := 0
+		for v < total {
+			n := 0
+			for n < len(buf) && v+n < total {
+				buf[n] = v + n
+				n++
+			}
+			rest := buf[:n]
+			for len(rest) > 0 {
+				k := q.PushBatch(rest)
+				rest = rest[k:]
+				if k == 0 {
+					runtime.Gosched()
+				}
+			}
+			v += n
+		}
+	}()
+	seen := make([]bool, total)
+	got := 0
+	for got < total {
+		v, ok := q.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v < 0 || v >= total || seen[v] {
+			t.Fatalf("bad or duplicate value %d", v)
+		}
+		seen[v] = true
+		got++
+	}
+}
+
 func BenchmarkMPMCPushPop(b *testing.B) {
 	q, _ := NewMPMC[uint64](1024)
 	b.ReportAllocs()
@@ -204,8 +481,20 @@ func BenchmarkMPMCPushPop(b *testing.B) {
 	}
 }
 
+func BenchmarkMPMCBatch16(b *testing.B) {
+	q, _ := NewMPMC[uint64](1024)
+	src := make([]uint64, 16)
+	dst := make([]uint64, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.PushBatch(src)
+		q.PopBatch(dst)
+	}
+}
+
 func BenchmarkMPMCContended(b *testing.B) {
 	q, _ := NewMPMC[uint64](1024)
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			if !q.TryPush(1) {

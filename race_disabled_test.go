@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro
+
+// raceEnabled lets the allocation gate skip under the race detector,
+// whose instrumentation allocates on paths that are otherwise clean.
+const raceEnabled = false
