@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet lint bench bench-baseline experiments demo examples loc help
+.PHONY: all test race vet lint bench bench-baseline metrics-smoke experiments demo examples loc help
 
 all: vet test lint ## vet + test + lint (the CI gate)
 
@@ -26,6 +26,18 @@ bench: ## run every benchmark
 
 bench-baseline: ## measure the hot-path suite and refresh BENCH_hotpath.json
 	$(GO) run ./cmd/insane-bench -hotpath BENCH_hotpath.json
+
+metrics-smoke: ## boot a 2-node cluster, scrape /metrics, check the required series
+	$(GO) run ./cmd/insane-info -metrics > /tmp/insane_metrics.prom
+	@for series in insane_emits_total insane_consumes_total \
+	  insane_tx_messages_total insane_rx_messages_total \
+	  insane_consume_latency_seconds_bucket insane_sched_dwell_seconds_bucket \
+	  insane_stage_network_seconds_bucket insane_mempool_gets_total \
+	  insane_mempool_free_slots insane_envcache_events_total \
+	  insane_emit_backpressure_total insane_sched_queue_depth; do \
+	  grep -q "^$$series" /tmp/insane_metrics.prom || { echo "missing series: $$series"; exit 1; }; \
+	done
+	@echo "metrics-smoke: all required series present"
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments: ## regenerate all paper tables and figures

@@ -23,9 +23,14 @@ func run(args []string) error {
 	var (
 		testbeds = fs.Bool("testbeds", false, "print only the testbed profiles")
 		qosTable = fs.Bool("qos", false, "print only the QoS mapping table")
+		metrics  = fs.Bool("metrics", false, "boot a 2-node cluster, run traffic, and print its Prometheus /metrics scrape")
+		addr     = fs.String("metrics-addr", "127.0.0.1:0", "listen address for -metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics {
+		return metricsSmoke(os.Stdout, *addr)
 	}
 	ids := []string{"table1", "table2", "ablation-qos"}
 	if *testbeds {

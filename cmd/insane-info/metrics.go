@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/insane-mw/insane/insane"
+)
+
+// metricsSmoke boots a small two-node cluster, pushes a burst of traffic
+// through it, scrapes its own Prometheus endpoint over HTTP and prints
+// the exposition verbatim. It doubles as the CI smoke test for the
+// /metrics surface (make metrics-smoke).
+func metricsSmoke(w io.Writer, addr string) error {
+	cluster, err := insane.NewCluster(insane.ClusterOptions{
+		Nodes: []insane.NodeSpec{
+			{Name: "alpha", DPDK: true, RDMA: true},
+			{Name: "beta", DPDK: true, RDMA: true},
+		},
+		MetricsAddr: addr,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	if err := metricsTraffic(cluster); err != nil {
+		return err
+	}
+
+	resp, err := http.Get("http://" + cluster.MetricsAddr() + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape: unexpected status %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// metricsTraffic runs a short pub/sub exchange so every pipeline stage
+// has observations before the scrape.
+func metricsTraffic(cluster *insane.Cluster) error {
+	const channel, messages = 7, 64
+
+	sub, err := cluster.Node("beta").InitSession()
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	subStream, err := sub.CreateStreamOpts(insane.WithDatapath(insane.Fast))
+	if err != nil {
+		return err
+	}
+	sink, err := subStream.CreateSink(channel, nil)
+	if err != nil {
+		return err
+	}
+
+	pub, err := cluster.Node("alpha").InitSession()
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+	pubStream, err := pub.CreateStreamOpts(insane.WithDatapath(insane.Fast))
+	if err != nil {
+		return err
+	}
+	src, err := pubStream.CreateSource(channel)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cluster.Node("alpha").SubscriberCount(channel) == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	for i := 0; i < messages; i++ {
+		buf, err := src.GetBuffer(64)
+		if err != nil {
+			return err
+		}
+		n := copy(buf.Payload, fmt.Sprintf("reading %d", i))
+		if _, err := src.Emit(buf, n); err != nil {
+			return err
+		}
+		m, err := sink.ConsumeTimeout(2 * time.Second)
+		if err != nil {
+			return fmt.Errorf("message %d: %w", i, err)
+		}
+		sink.Release(m)
+	}
+	return nil
+}

@@ -47,6 +47,19 @@ func run() error {
 		return err
 	}
 
+	fmt.Println("\n== per-stage telemetry after the demo ==")
+	for _, n := range cluster.Nodes() {
+		m := n.Metrics()
+		fmt.Printf("  %-10s emits=%d consumes=%d tx=%d rx=%d local=%d backpressure=%d\n",
+			n.Name(), m.Emits, m.Consumes, m.TxMessages, m.RxMessages,
+			m.LocalDeliveries, m.EmitBackpressure)
+		if m.ConsumeLatency.Count > 0 {
+			fmt.Printf("  %-10s consume latency p50=%v p99=%v  stages p99: send=%v net=%v recv=%v proc=%v\n",
+				n.Name(), m.ConsumeLatency.P50, m.ConsumeLatency.P99,
+				m.StageSend.P99, m.StageNetwork.P99, m.StageRecv.P99, m.StageProcessing.P99)
+		}
+	}
+
 	fmt.Println("\n== runtime state after the demo ==")
 	for _, n := range cluster.Nodes() {
 		fmt.Print(n.Inspect())
@@ -76,7 +89,9 @@ func momDemo(cluster *insane.Cluster) error {
 		tech := sub.Technology()
 		err = sub.Subscribe("plant/line1/temp", func(payload []byte, m mom.Meta) {
 			received.Add(1)
-			fmt.Printf("  %-10s got %q (stream tech %s) one-way %v\n", node, payload, tech, m.Latency)
+			fmt.Printf("  %-10s got %q (stream tech %s) one-way %v (send %v / net %v / recv %v / proc %v)\n",
+				node, payload, tech, m.Latency,
+				m.Stages.Send, m.Stages.Network, m.Stages.Recv, m.Stages.Processing)
 		})
 		if err != nil {
 			return err
@@ -129,8 +144,9 @@ func streamingDemo(cluster *insane.Cluster) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  frame %d: %d fragments, %.2f MB reassembled, per-fragment one-way %v\n",
-			got.ID, frags, float64(len(got.Data))/1e6, got.Latency)
+		fmt.Printf("  frame %d: %d fragments, %.2f MB reassembled, per-fragment one-way %v (send %v / net %v / recv %v / proc %v)\n",
+			got.ID, frags, float64(len(got.Data))/1e6, got.Latency,
+			got.Stages.Send, got.Stages.Network, got.Stages.Recv, got.Stages.Processing)
 	}
 	return nil
 }

@@ -44,7 +44,7 @@ func run() error {
 		return err
 	}
 	defer dcSess.Close()
-	dcStream, err := dcSess.CreateStream(insane.Options{Datapath: insane.Fast})
+	dcStream, err := dcSess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	if err != nil {
 		return err
 	}
@@ -61,7 +61,7 @@ func run() error {
 		}
 		defer sess.Close() // detach: the migration moment
 
-		stream, err := sess.CreateStream(insane.Options{Datapath: insane.Fast})
+		stream, err := sess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 		if err != nil {
 			return err
 		}

@@ -39,7 +39,7 @@ func run() error {
 		return err
 	}
 	defer rxSess.Close()
-	rxStream, err := rxSess.CreateStream(insane.Options{Datapath: insane.Fast})
+	rxStream, err := rxSess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	if err != nil {
 		return err
 	}
@@ -54,7 +54,7 @@ func run() error {
 		return err
 	}
 	defer txSess.Close()
-	txStream, err := txSess.CreateStream(insane.Options{Datapath: insane.Fast})
+	txStream, err := txSess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	if err != nil {
 		return err
 	}

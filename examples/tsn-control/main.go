@@ -53,9 +53,11 @@ func run() error {
 		return err
 	}
 	defer rxSess.Close()
-	rxCtl, err := rxSess.CreateStream(insane.Options{
-		Datapath: insane.Fast, Timing: insane.TimeSensitive, Class: 7,
-	})
+	rxCtl, err := rxSess.CreateStreamOpts(
+		insane.WithDatapath(insane.Fast),
+		insane.WithTiming(insane.TimeSensitive),
+		insane.WithClass(7),
+	)
 	if err != nil {
 		return err
 	}
@@ -63,7 +65,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	rxBulk, err := rxSess.CreateStream(insane.Options{Datapath: insane.Fast})
+	rxBulk, err := rxSess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	if err != nil {
 		return err
 	}
@@ -77,13 +79,15 @@ func run() error {
 		return err
 	}
 	defer txSess.Close()
-	ctlStream, err := txSess.CreateStream(insane.Options{
-		Datapath: insane.Fast, Timing: insane.TimeSensitive, Class: 7,
-	})
+	ctlStream, err := txSess.CreateStreamOpts(
+		insane.WithDatapath(insane.Fast),
+		insane.WithTiming(insane.TimeSensitive),
+		insane.WithClass(7),
+	)
 	if err != nil {
 		return err
 	}
-	bulkStream, err := txSess.CreateStream(insane.Options{Datapath: insane.Fast})
+	bulkStream, err := txSess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	if err != nil {
 		return err
 	}

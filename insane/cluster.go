@@ -3,6 +3,8 @@ package insane
 import (
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"time"
 
 	"github.com/insane-mw/insane/internal/core"
@@ -75,6 +77,13 @@ type ClusterOptions struct {
 	Seed int64
 	// Logf receives runtime warnings (optional).
 	Logf func(format string, args ...any)
+	// MetricsAddr, when non-empty, serves the cluster's telemetry as
+	// Prometheus text at /metrics — plus net/http/pprof under
+	// /debug/pprof/ — on an HTTP listener bound to this address. Use
+	// "127.0.0.1:0" for an ephemeral port (Cluster.MetricsAddr reports
+	// the bound address); a bare ":port" is normalized to loopback, as
+	// the pprof handlers make this a debug endpoint.
+	MetricsAddr string
 }
 
 // Cluster is a virtual edge deployment: a fabric plus one INSANE runtime
@@ -83,6 +92,9 @@ type Cluster struct {
 	net   *fabric.Network
 	nodes map[string]*Node
 	order []string
+
+	metricsLn  net.Listener
+	metricsSrv *http.Server
 }
 
 // Node is one edge node running an INSANE runtime.
@@ -212,6 +224,12 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		c.nodes[np.spec.Name] = &Node{name: np.spec.Name, rt: rt}
 		c.order = append(c.order, np.spec.Name)
 	}
+	if opts.MetricsAddr != "" {
+		if err := c.serveMetrics(opts.MetricsAddr); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -227,8 +245,13 @@ func (c *Cluster) Nodes() []*Node {
 	return out
 }
 
-// Close stops every runtime.
+// Close stops every runtime and shuts the metrics endpoint down.
 func (c *Cluster) Close() {
+	if c.metricsSrv != nil {
+		_ = c.metricsSrv.Close()
+		c.metricsSrv = nil
+		c.metricsLn = nil
+	}
 	for _, n := range c.nodes {
 		if n.rt != nil {
 			_ = n.rt.Close()

@@ -1,0 +1,63 @@
+package insane
+
+import (
+	"errors"
+
+	"github.com/insane-mw/insane/internal/core"
+	"github.com/insane-mw/insane/internal/mempool"
+)
+
+// Errors surfaced by the client library. They are the package's own
+// sentinels — internal error values never cross the public surface — and
+// are returned by value, so both errors.Is and direct comparison work.
+var (
+	// ErrClosed is returned by operations on closed sessions, streams,
+	// sources or sinks.
+	ErrClosed = errors.New("insane: closed")
+	// ErrBackpressure is returned by Emit when the runtime is busy; the
+	// caller keeps the buffer and should retry.
+	ErrBackpressure = errors.New("insane: runtime busy, retry")
+	// ErrNoData is returned by a non-blocking Consume on an empty sink.
+	ErrNoData = errors.New("insane: no data available")
+	// ErrTimeout is returned by a blocking Consume that hit its deadline.
+	ErrTimeout = errors.New("insane: consume timeout")
+	// ErrNoBuffers is returned by GetBuffer when the memory pools are
+	// momentarily exhausted; slot recycling is the natural flow control
+	// of the zero-copy design, so callers back off and retry.
+	ErrNoBuffers = errors.New("insane: no free buffers")
+	// ErrNoDatapath is returned by CreateStream when the QoS mapping
+	// picked a technology this node has no endpoint for.
+	ErrNoDatapath = errors.New("insane: no datapath for mapped technology")
+)
+
+// publicErr translates an internal error to the package's sentinels.
+// Known sentinels are returned by value (no wrapping) so the translation
+// allocates nothing on the hot path; anything unrecognized passes through
+// unchanged.
+func publicErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case err == core.ErrClosed:
+		return ErrClosed
+	case err == core.ErrBackpressure:
+		return ErrBackpressure
+	case err == core.ErrNoData:
+		return ErrNoData
+	case err == core.ErrTimeout:
+		return ErrTimeout
+	case err == mempool.ErrExhausted:
+		return ErrNoBuffers
+	}
+	// Wrapped variants (e.g. "no endpoint for <tech>") only occur on
+	// control paths, where errors.Is unwrapping is affordable.
+	switch {
+	case errors.Is(err, core.ErrNoDatapath):
+		return ErrNoDatapath
+	case errors.Is(err, core.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, mempool.ErrExhausted):
+		return ErrNoBuffers
+	}
+	return err
+}

@@ -24,12 +24,12 @@ func Example() {
 
 	rx, _ := cluster.Node("edge-2").InitSession()
 	defer rx.Close()
-	rxStream, _ := rx.CreateStream(insane.Options{Datapath: insane.Fast})
+	rxStream, _ := rx.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	sink, _ := rxStream.CreateSink(7, nil)
 
 	tx, _ := cluster.Node("edge-1").InitSession()
 	defer tx.Close()
-	txStream, _ := tx.CreateStream(insane.Options{Datapath: insane.Fast})
+	txStream, _ := tx.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	fmt.Println("technology:", txStream.Technology())
 
 	for cluster.Node("edge-1").SubscriberCount(7) == 0 {
@@ -65,16 +65,16 @@ func ExampleOptions() {
 	}
 	defer cluster.Close()
 
-	show := func(node string, opts insane.Options) {
+	show := func(node string, opts ...insane.Option) {
 		sess, _ := cluster.Node(node).InitSession()
 		defer sess.Close()
-		st, _ := sess.CreateStream(opts)
+		st, _ := sess.CreateStreamOpts(opts...)
 		fmt.Printf("%s: %s (fallback=%v)\n", node, st.Technology(), st.FellBack())
 	}
-	show("rich", insane.Options{Datapath: insane.Fast})
-	show("frugal", insane.Options{Datapath: insane.Fast})
-	show("frugal", insane.Options{Datapath: insane.Fast, Resources: insane.Frugal})
-	show("bare", insane.Options{Datapath: insane.Fast})
+	show("rich", insane.WithDatapath(insane.Fast))
+	show("frugal", insane.WithDatapath(insane.Fast))
+	show("frugal", insane.WithDatapath(insane.Fast), insane.WithResources(insane.Frugal))
+	show("bare", insane.WithDatapath(insane.Fast))
 	// Output:
 	// rich: rdma (fallback=false)
 	// frugal: dpdk (fallback=false)

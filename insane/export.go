@@ -1,0 +1,57 @@
+package insane
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"github.com/insane-mw/insane/internal/telemetry"
+)
+
+// serveMetrics binds the cluster's debug HTTP endpoint: Prometheus text
+// at /metrics, runtime profiles under /debug/pprof/.
+func (c *Cluster) serveMetrics(addr string) error {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	c.metricsLn = ln
+	c.metricsSrv = &http.Server{Handler: mux}
+	go func(srv *http.Server, ln net.Listener) {
+		_ = srv.Serve(ln)
+	}(c.metricsSrv, ln)
+	return nil
+}
+
+// MetricsAddr reports the bound address of the metrics endpoint, or ""
+// when ClusterOptions.MetricsAddr was not set. With an ephemeral-port
+// request ("127.0.0.1:0") this is how callers learn the actual port.
+func (c *Cluster) MetricsAddr() string {
+	if c.metricsLn == nil {
+		return ""
+	}
+	return c.metricsLn.Addr().String()
+}
+
+// handleMetrics renders every node's merged telemetry snapshot in the
+// Prometheus text exposition format, one node="..." label per node.
+func (c *Cluster) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snaps := make([]telemetry.NodeSnapshot, 0, len(c.order))
+	for _, name := range c.order {
+		n := c.nodes[name]
+		snaps = append(snaps, telemetry.NodeSnapshot{Node: n.name, Snap: n.rt.MetricsSnapshot()})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = telemetry.WriteProm(w, snaps)
+}

@@ -1,0 +1,171 @@
+package insane
+
+import (
+	"time"
+
+	"github.com/insane-mw/insane/internal/telemetry"
+)
+
+// LatencyStats summarizes one per-stage latency histogram of a node.
+// Quantiles are upper bounds from a log-linear histogram with at most
+// ~12% relative error per bucket.
+type LatencyStats struct {
+	// Count is how many messages were observed.
+	Count uint64
+	// Mean is the arithmetic mean latency.
+	Mean time.Duration
+	// P50, P90, P99 are latency quantile upper bounds.
+	P50, P90, P99 time.Duration
+	// Max is an upper bound of the largest observation.
+	Max time.Duration
+}
+
+// DistStats summarizes a dimensionless distribution (queue occupancies,
+// batch sizes).
+type DistStats struct {
+	Count         uint64
+	Mean          float64
+	P50, P99, Max uint64
+}
+
+// MempoolClass is one slot size class of the node's memory manager.
+type MempoolClass struct {
+	// SlotSize is the usable bytes per slot.
+	SlotSize int
+	// Capacity and Free are the configured and currently free slot
+	// counts.
+	Capacity, Free int
+}
+
+// MempoolMetrics reports the memory manager's activity: Gets/Failures
+// mirror the hit/miss behaviour of the zero-copy pools, and exhaustion
+// (Failures) is the backpressure signal of the slot-recycling design.
+type MempoolMetrics struct {
+	Gets, Failures, Releases uint64
+	Classes                  []MempoolClass
+}
+
+// EnvCacheMetrics reports the pollers' packet-envelope free lists
+// (hit/refill/miss/recycle/drop), the runtime-internal analogue of a
+// DPDK mempool cache.
+type EnvCacheMetrics struct {
+	Hits, Refills, Misses, Recycles, Drops uint64
+}
+
+// Metrics is a typed snapshot of one node's runtime telemetry: every
+// pipeline-stage counter and latency histogram the runtime maintains,
+// aggregated over its per-poller shards. Prefer it over parsing the
+// Prometheus endpoint when consuming metrics programmatically.
+type Metrics struct {
+	// Node is the node name the snapshot was taken from.
+	Node string
+
+	// Emit admission.
+	Emits, EmitBytes, EmitBackpressure uint64
+	// Scheduler and datapath dispatch.
+	SchedEnqueues, Dispatches uint64
+	// NIC and shared-memory traffic.
+	TxMessages, RxMessages, LocalDeliveries uint64
+	// Drop and degradation counters.
+	DroppedNoSink, DroppedBackpressure, TechDowngrades uint64
+	// Consume side.
+	Consumes, ConsumeBytes uint64
+
+	// Per-stage latency distributions (virtual time, Fig. 6).
+	SchedDwell      LatencyStats
+	DeliverLatency  LatencyStats
+	ConsumeLatency  LatencyStats
+	StageSend       LatencyStats
+	StageNetwork    LatencyStats
+	StageRecv       LatencyStats
+	StageProcessing LatencyStats
+
+	// Occupancy distributions.
+	TxRingOccupancy DistStats
+	DispatchBatch   DistStats
+
+	Mempool  MempoolMetrics
+	EnvCache EnvCacheMetrics
+	// SchedQueueDepth is the packets parked in the schedulers at
+	// snapshot time.
+	SchedQueueDepth uint64
+}
+
+// latencyStats converts a histogram snapshot to the public summary.
+func latencyStats(h *telemetry.HistSnapshot) LatencyStats {
+	return LatencyStats{
+		Count: h.Count,
+		Mean:  time.Duration(h.Mean()),
+		P50:   time.Duration(h.Quantile(0.50)),
+		P90:   time.Duration(h.Quantile(0.90)),
+		P99:   time.Duration(h.Quantile(0.99)),
+		Max:   time.Duration(h.Max()),
+	}
+}
+
+// distStats converts a dimensionless histogram snapshot.
+func distStats(h *telemetry.HistSnapshot) DistStats {
+	return DistStats{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// Metrics merges the node's telemetry shards into a typed snapshot. It
+// allocates and briefly locks scheduler queues: call it from monitoring
+// or reporting code, not per message.
+func (n *Node) Metrics() Metrics {
+	s := n.rt.MetricsSnapshot()
+	m := Metrics{
+		Node:                n.name,
+		Emits:               s.Counters[telemetry.CtrEmits],
+		EmitBytes:           s.Counters[telemetry.CtrEmitBytes],
+		EmitBackpressure:    s.Counters[telemetry.CtrEmitBackpressure],
+		SchedEnqueues:       s.Counters[telemetry.CtrSchedEnqueues],
+		Dispatches:          s.Counters[telemetry.CtrDispatches],
+		TxMessages:          s.Counters[telemetry.CtrTxMessages],
+		RxMessages:          s.Counters[telemetry.CtrRxMessages],
+		LocalDeliveries:     s.Counters[telemetry.CtrLocalDeliveries],
+		DroppedNoSink:       s.Counters[telemetry.CtrNoSinkDrops],
+		DroppedBackpressure: s.Counters[telemetry.CtrRingFullDrops],
+		TechDowngrades:      s.Counters[telemetry.CtrTechDowngrades],
+		Consumes:            s.Counters[telemetry.CtrConsumes],
+		ConsumeBytes:        s.Counters[telemetry.CtrConsumeBytes],
+
+		SchedDwell:      latencyStats(&s.Hists[telemetry.HistSchedDwell]),
+		DeliverLatency:  latencyStats(&s.Hists[telemetry.HistDeliverLatency]),
+		ConsumeLatency:  latencyStats(&s.Hists[telemetry.HistConsumeLatency]),
+		StageSend:       latencyStats(&s.Hists[telemetry.HistStageSend]),
+		StageNetwork:    latencyStats(&s.Hists[telemetry.HistStageNetwork]),
+		StageRecv:       latencyStats(&s.Hists[telemetry.HistStageRecv]),
+		StageProcessing: latencyStats(&s.Hists[telemetry.HistStageProcessing]),
+
+		TxRingOccupancy: distStats(&s.Hists[telemetry.HistTxRingOccupancy]),
+		DispatchBatch:   distStats(&s.Hists[telemetry.HistDispatchBatch]),
+
+		Mempool: MempoolMetrics{
+			Gets:     s.Mempool.Gets,
+			Failures: s.Mempool.Failures,
+			Releases: s.Mempool.Releases,
+		},
+		EnvCache: EnvCacheMetrics{
+			Hits:     s.EnvCache.Hits,
+			Refills:  s.EnvCache.Refills,
+			Misses:   s.EnvCache.Misses,
+			Recycles: s.EnvCache.Recycles,
+			Drops:    s.EnvCache.Drops,
+		},
+		SchedQueueDepth: s.SchedQueueDepth,
+	}
+	for i, size := range s.Mempool.SlotSizes {
+		m.Mempool.Classes = append(m.Mempool.Classes, MempoolClass{
+			SlotSize: size,
+			Capacity: s.Mempool.CapSlots[i],
+			Free:     s.Mempool.FreeSlots[i],
+		})
+	}
+	return m
+}

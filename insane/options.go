@@ -1,0 +1,52 @@
+package insane
+
+// Option configures one aspect of a stream's QoS contract; pass them to
+// Session.CreateStreamOpts. The zero contract is slow / whatever-it-takes
+// / best-effort with telemetry enabled, exactly like a zero Options
+// struct.
+type Option func(*Options)
+
+// WithDatapath sets the acceleration policy (§5.2).
+func WithDatapath(d Datapath) Option {
+	return func(o *Options) { o.Datapath = d }
+}
+
+// WithResources sets the resource-consumption policy.
+func WithResources(r Resources) Option {
+	return func(o *Options) { o.Resources = r }
+}
+
+// WithTiming sets the time-sensitiveness policy.
+func WithTiming(t Timing) Option {
+	return func(o *Options) { o.Timing = t }
+}
+
+// WithClass sets the 802.1Qbv traffic class (0-7) of a time-sensitive
+// stream; higher is more critical.
+func WithClass(class uint8) Option {
+	return func(o *Options) { o.Class = class }
+}
+
+// WithMapper overrides the default QoS mapping strategy; see
+// Options.Mapper.
+func WithMapper(m func(available []string) string) Option {
+	return func(o *Options) { o.Mapper = m }
+}
+
+// WithTelemetry enables or disables the per-message latency histograms
+// for the stream. Telemetry is on by default and its hot-path cost is a
+// handful of atomic adds; disabling it only skips the per-stage latency
+// observations (throughput counters always run).
+func WithTelemetry(enabled bool) Option {
+	return func(o *Options) { o.DisableTelemetry = !enabled }
+}
+
+// CreateStreamOpts opens a stream from functional options; it is
+// equivalent to CreateStream with the assembled Options struct.
+func (s *Session) CreateStreamOpts(opts ...Option) (*Stream, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return s.CreateStream(o)
+}

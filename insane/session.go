@@ -1,32 +1,16 @@
 package insane
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/insane-mw/insane/internal/core"
 	"github.com/insane-mw/insane/internal/datapath"
-	"github.com/insane-mw/insane/internal/mempool"
 	"github.com/insane-mw/insane/internal/model"
 	"github.com/insane-mw/insane/internal/qos"
-)
-
-// Errors surfaced by the client library.
-var (
-	// ErrClosed is returned by operations on closed handles.
-	ErrClosed = core.ErrClosed
-	// ErrBackpressure is returned by Emit when the runtime is busy; the
-	// caller keeps the buffer and should retry.
-	ErrBackpressure = core.ErrBackpressure
-	// ErrNoData is returned by a non-blocking Consume on an empty sink.
-	ErrNoData = core.ErrNoData
-	// ErrTimeout is returned by a blocking Consume that hit its deadline.
-	ErrTimeout = core.ErrTimeout
-	// ErrNoBuffers is returned by GetBuffer when the memory pools are
-	// momentarily exhausted; slot recycling is the natural flow control
-	// of the zero-copy design, so callers back off and retry.
-	ErrNoBuffers = mempool.ErrExhausted
 )
 
 // Datapath is the acceleration QoS policy of a stream (§5.2).
@@ -73,11 +57,15 @@ type Options struct {
 	// Node.Technologies()) and must return one of them; returning ""
 	// delegates back to the default strategy.
 	Mapper func(available []string) string
+	// DisableTelemetry opts the stream's messages out of the per-stage
+	// latency histograms (Node.Metrics, /metrics); throughput counters
+	// always run. See WithTelemetry.
+	DisableTelemetry bool
 }
 
 // toQoS converts the public options to the internal policy type.
 func (o Options) toQoS() qos.Options {
-	out := qos.Options{Class: o.Class}
+	out := qos.Options{Class: o.Class, NoTelemetry: o.DisableTelemetry}
 	if o.Mapper != nil {
 		userPick := o.Mapper
 		out.Mapper = func(inner qos.Options, caps datapath.Caps) (model.Tech, bool) {
@@ -123,7 +111,8 @@ func (o Options) toQoS() qos.Options {
 // Session is an application's connection to the local INSANE runtime
 // (init_session / close_session).
 type Session struct {
-	conn *core.ClientConn
+	conn   *core.ClientConn
+	closed atomic.Bool
 
 	mu    sync.Mutex
 	sinks []*Sink
@@ -133,14 +122,18 @@ type Session struct {
 func (n *Node) InitSession() (*Session, error) {
 	conn, err := n.rt.Connect()
 	if err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	return &Session{conn: conn}, nil
 }
 
 // Close ends the session: every stream, source and sink opened through it
-// is closed and all borrowed memory returns to the runtime.
+// is closed and all borrowed memory returns to the runtime. Close is
+// idempotent — repeated calls return nil without re-flushing.
 func (s *Session) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	s.mu.Lock()
 	sinks := s.sinks
 	s.sinks = nil
@@ -148,7 +141,7 @@ func (s *Session) Close() error {
 	for _, k := range sinks {
 		k.stopDispatch()
 	}
-	return s.conn.Close()
+	return publicErr(s.conn.Close())
 }
 
 // CreateStream opens a stream with the given QoS options; the runtime
@@ -156,7 +149,7 @@ func (s *Session) Close() error {
 func (s *Session) CreateStream(opts Options) (*Stream, error) {
 	h, err := s.conn.OpenStream(opts.toQoS())
 	if err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	return &Stream{sess: s, h: h}, nil
 }
@@ -182,7 +175,7 @@ func (st *Stream) Close() { st.h.Close() }
 func (st *Stream) CreateSource(channel int) (*Source, error) {
 	h, err := st.h.CreateSource(uint32(channel))
 	if err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	return &Source{h: h}, nil
 }
@@ -197,7 +190,7 @@ type DataCallback func(m *Message)
 func (st *Stream) CreateSink(channel int, cb DataCallback) (*Sink, error) {
 	h, err := st.h.CreateSink(uint32(channel))
 	if err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	k := &Sink{h: h}
 	if cb != nil {
@@ -242,7 +235,7 @@ func (s *Source) Channel() int { return int(s.h.Channel()) }
 func (s *Source) GetBuffer(size int) (*Buffer, error) {
 	b, err := s.h.GetBuffer(size)
 	if err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	out := bufferPool.Get().(*Buffer)
 	*out = Buffer{Payload: b.Payload, inner: b}
@@ -286,7 +279,7 @@ func (s *Source) Emit(b *Buffer, n int) (uint32, error) {
 		*b = Buffer{}
 		bufferPool.Put(b)
 	}
-	return seq, err
+	return seq, publicErr(err)
 }
 
 // Outcome reports the fate of an emitted message (check_emit_outcome).
@@ -327,6 +320,19 @@ func (m *Message) Breakdown() (send, network, recv, processing time.Duration) {
 	return bd.Send, bd.Network, bd.Recv, bd.Processing
 }
 
+// Stages is a message latency split by pipeline stage (Fig. 6): sender
+// middleware, wire, receiver middleware, and application processing.
+type Stages struct {
+	Send, Network, Recv, Processing time.Duration
+}
+
+// Stages returns the latency breakdown as a struct, convenient to embed
+// in higher-layer metadata (Lunar reports it per delivery).
+func (m *Message) Stages() Stages {
+	bd := m.d.Breakdown
+	return Stages{Send: bd.Send, Network: bd.Network, Recv: bd.Recv, Processing: bd.Processing}
+}
+
 // Sink is a data consumer on one channel.
 type Sink struct {
 	h    *core.SinkHandle
@@ -340,28 +346,67 @@ func (k *Sink) Channel() int { return int(k.h.Channel()) }
 // Available returns how many deliveries are queued (data_available).
 func (k *Sink) Available() int { return k.h.Available() }
 
-// Consume pops one delivery. With block=false it returns ErrNoData
-// immediately when the sink is empty; with block=true it waits.
-func (k *Sink) Consume(block bool) (*Message, error) {
-	if !block {
-		d, err := k.h.TryConsume()
-		if err != nil {
-			return nil, err
+// ConsumeContext pops one delivery, waiting until data arrives, the
+// context's deadline passes (the context error is returned), or the
+// context is canceled. This is the preferred consumption call; Consume
+// and ConsumeTimeout are retained as thin wrappers over the same
+// primitive.
+func (k *Sink) ConsumeContext(ctx context.Context) (*Message, error) {
+	var timeout time.Duration
+	if deadline, ok := ctx.Deadline(); ok {
+		timeout = time.Until(deadline)
+		if timeout <= 0 {
+			return nil, ctx.Err()
 		}
-		return wrapDelivery(d), nil
 	}
-	d, err := k.h.Consume(0)
+	d, err := k.h.ConsumeCancel(ctx.Done(), timeout)
 	if err != nil {
-		return nil, err
+		switch err {
+		case core.ErrCanceled:
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, context.Canceled
+		case core.ErrTimeout:
+			// The timeout was derived from the context's deadline, so
+			// hitting it is the context expiring — even if the internal
+			// timer fired an instant before ctx.Err() flipped.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, context.DeadlineExceeded
+		}
+		return nil, publicErr(err)
 	}
 	return wrapDelivery(d), nil
 }
 
-// ConsumeTimeout pops one delivery, waiting at most d.
+// Consume pops one delivery. With block=false it returns ErrNoData
+// immediately when the sink is empty; with block=true it waits.
+//
+// Deprecated: use ConsumeContext, which supports cancellation; Consume
+// remains for the paper's boolean-flag consume_data signature.
+func (k *Sink) Consume(block bool) (*Message, error) {
+	if !block {
+		d, err := k.h.TryConsume()
+		if err != nil {
+			return nil, publicErr(err)
+		}
+		return wrapDelivery(d), nil
+	}
+	return k.ConsumeTimeout(0)
+}
+
+// ConsumeTimeout pops one delivery, waiting at most d (zero waits
+// forever). Unlike ConsumeContext with a deadline it allocates nothing,
+// so steady-state request/reply loops stay on the zero-allocation path.
+//
+// Deprecated: prefer ConsumeContext when cancellation matters more than
+// the last allocation.
 func (k *Sink) ConsumeTimeout(d time.Duration) (*Message, error) {
-	del, err := k.h.Consume(d)
+	del, err := k.h.ConsumeCancel(nil, d)
 	if err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	return wrapDelivery(del), nil
 }
@@ -408,7 +453,7 @@ func (k *Sink) dispatch(cb DataCallback) {
 			k.Release(m)
 			continue
 		}
-		if !errors.Is(err, ErrNoData) {
+		if !errors.Is(err, core.ErrNoData) {
 			return // sink closed
 		}
 		select {

@@ -12,6 +12,7 @@ import (
 	"github.com/insane-mw/insane/internal/model"
 	"github.com/insane-mw/insane/internal/qos"
 	"github.com/insane-mw/insane/internal/ringbuf"
+	"github.com/insane-mw/insane/internal/telemetry"
 	"github.com/insane-mw/insane/internal/timebase"
 )
 
@@ -27,6 +28,13 @@ var (
 	ErrNoData = errors.New("core: no data available")
 	// ErrTimeout is returned by blocking consume when the deadline hits.
 	ErrTimeout = errors.New("core: consume timeout")
+	// ErrCanceled is returned by ConsumeCancel when the cancel channel
+	// closes before data arrives; the public layer translates it to the
+	// caller's context error.
+	ErrCanceled = errors.New("core: consume canceled")
+	// ErrNoDatapath is returned by OpenStream when the QoS mapping
+	// picked a technology this host has no open endpoint for.
+	ErrNoDatapath = errors.New("core: no endpoint for mapped technology")
 )
 
 // txToken travels from the client library to the runtime over the
@@ -41,6 +49,9 @@ type txToken struct {
 	src     *SourceHandle
 	vtime   timebase.VTime
 	bd      fabric.Breakdown
+	// noTel opts the message out of the latency histograms (stream-level
+	// telemetry opt-out; counters still run).
+	noTel bool
 }
 
 // rxToken travels from the runtime to a sink's RX ring.
@@ -114,7 +125,7 @@ func (c *ClientConn) OpenStream(opts qos.Options) (*StreamHandle, error) {
 		c.rt.warnf("stream: acceleration requested (%s) but no accelerated technology available; falling back to %s", opts, tech)
 	}
 	if _, ok := c.rt.techs[tech]; !ok {
-		return nil, fmt.Errorf("core: mapped technology %s has no endpoint", tech)
+		return nil, fmt.Errorf("%w: %s", ErrNoDatapath, tech)
 	}
 	h := &StreamHandle{
 		conn:     c,
@@ -244,7 +255,13 @@ func (h *StreamHandle) CreateSource(channel uint32) (*SourceHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &SourceHandle{stream: h, channel: channel, ring: ring}
+	s := &SourceHandle{
+		stream:  h,
+		channel: channel,
+		ring:    ring,
+		shard:   h.conn.rt.tel.AssignShard(),
+		noTel:   h.opts.NoTelemetry,
+	}
 	h.sources = append(h.sources, s)
 	return s, nil
 }
@@ -268,6 +285,8 @@ func (h *StreamHandle) CreateSink(channel uint32) (*SinkHandle, error) {
 		channel: channel,
 		ring:    ring,
 		notify:  make(chan struct{}, 1),
+		shard:   h.conn.rt.tel.AssignShard(),
+		noTel:   h.opts.NoTelemetry,
 	}
 	if err := h.conn.rt.registerSink(k); err != nil {
 		return nil, err
@@ -331,6 +350,10 @@ type SourceHandle struct {
 	ring    *ringbuf.MPMC[txToken]
 	seq     atomic.Uint32
 	closed  atomic.Bool
+	// shard is the telemetry stripe Emit records into; assigned
+	// round-robin at creation so concurrent publishers spread out.
+	shard *telemetry.Shard
+	noTel bool
 
 	mu       sync.Mutex
 	outcomes [outcomeWindow]Outcome
@@ -396,6 +419,7 @@ func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 		src:     s,
 		vtime:   b.VTime,
 		bd:      b.Breakdown,
+		noTel:   s.noTel,
 	}
 	// The IPC hop: the token crosses the client→runtime ring.
 	ipc := s.stream.conn.rt.rc.IPCTx
@@ -404,12 +428,15 @@ func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 	tok.bd.Send += d
 	if !s.ring.TryPush(tok) {
 		// Backpressure: the caller keeps buffer ownership and may retry.
+		s.shard.Inc(telemetry.CtrEmitBackpressure)
 		return 0, ErrBackpressure
 	}
 	// Ownership of the slot moved to the runtime; the wrapper is dead to
 	// the caller (bufownership rule) and can be recycled immediately.
 	*b = Buffer{}
 	bufferPool.Put(b)
+	s.shard.Inc(telemetry.CtrEmits)
+	s.shard.Add(telemetry.CtrEmitBytes, uint64(n))
 	s.stream.conn.rt.kickTX()
 	return seq, nil
 }
@@ -460,6 +487,9 @@ type SinkHandle struct {
 	ring    *ringbuf.MPMC[rxToken]
 	notify  chan struct{}
 	closed  atomic.Bool
+	// shard is the telemetry stripe Consume records into.
+	shard *telemetry.Shard
+	noTel bool
 }
 
 // Channel returns the sink's channel id.
@@ -490,6 +520,15 @@ func (k *SinkHandle) TryConsume() (*Delivery, error) {
 		Channel:   tok.channel,
 		VTime:     tok.vtime,
 		Breakdown: tok.bd,
+	}
+	k.shard.Inc(telemetry.CtrConsumes)
+	k.shard.Add(telemetry.CtrConsumeBytes, uint64(tok.length))
+	if !k.noTel {
+		k.shard.Observe(telemetry.HistConsumeLatency, int64(tok.vtime))
+		k.shard.Observe(telemetry.HistStageSend, int64(tok.bd.Send))
+		k.shard.Observe(telemetry.HistStageNetwork, int64(tok.bd.Network))
+		k.shard.Observe(telemetry.HistStageRecv, int64(tok.bd.Recv))
+		k.shard.Observe(telemetry.HistStageProcessing, int64(tok.bd.Processing))
 	}
 	return d, nil
 }
@@ -523,6 +562,15 @@ func putTimer(t *time.Timer) {
 // Consume blocks until a delivery arrives or the timeout elapses
 // (consume_data with the blocking flag). A zero timeout waits forever.
 func (k *SinkHandle) Consume(timeout time.Duration) (*Delivery, error) {
+	return k.ConsumeCancel(nil, timeout)
+}
+
+// ConsumeCancel is Consume with an additional cancellation channel: it
+// returns ErrCanceled as soon as cancel is closed. A nil cancel channel
+// never fires; a zero timeout waits forever. The public layer builds
+// context-aware consumption on top of this primitive without forcing a
+// context (and its allocations) onto the timeout-only path.
+func (k *SinkHandle) ConsumeCancel(cancel <-chan struct{}, timeout time.Duration) (*Delivery, error) {
 	// Fast path: data is already queued — no timer needed.
 	d, err := k.TryConsume()
 	if err == nil || !errors.Is(err, ErrNoData) {
@@ -546,6 +594,8 @@ func (k *SinkHandle) Consume(timeout time.Duration) (*Delivery, error) {
 		case <-k.notify:
 		case <-deadline:
 			return nil, ErrTimeout
+		case <-cancel:
+			return nil, ErrCanceled
 		}
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"github.com/insane-mw/insane/internal/netstack"
 	"github.com/insane-mw/insane/internal/qos"
 	"github.com/insane-mw/insane/internal/ringbuf"
+	"github.com/insane-mw/insane/internal/telemetry"
+	"github.com/insane-mw/insane/internal/timebase"
 )
 
 // Idle pacing: pollers back off exponentially when no work shows up and
@@ -25,6 +27,12 @@ type outMeta struct {
 	seq     uint32
 	channel uint32
 	timing  qos.Timing
+	// enqVT is the scheduler-enqueue timestamp on the runtime clock;
+	// dispatch turns it into the scheduler-dwell histogram sample.
+	enqVT timebase.VTime
+	// noTel opts the packet out of the latency histograms (stream-level
+	// WithTelemetry(false); counters still run).
+	noTel bool
 }
 
 // pktEnv is the pooled envelope of an outgoing packet: the datapath
@@ -59,7 +67,7 @@ func (r *Runtime) pollLoop(p *poller) {
 		gated := false
 		for i, st := range p.states {
 			work += r.drainTX(p, &p.snaps[i], st)
-			work += r.pollRX(st)
+			work += r.pollRX(p, st)
 			st.schedMu.Lock()
 			if st.tas.Pending() > 0 {
 				gated = true
@@ -135,10 +143,20 @@ func (r *Runtime) refreshTxSnap(s *txSnap, tech model.Tech) {
 func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
 	// 1. Pull tokens from every session's ring for this technology, in
 	// bursts: one sequence-aware batch pop per ring visit instead of one
-	// CAS per token (opportunistic batching, §6.2).
+	// CAS per token (opportunistic batching, §6.2). The clock is read
+	// once per pass: it stamps the scheduler-enqueue time of every token
+	// pulled below (dwell accounting) and gates the dequeue.
 	r.refreshTxSnap(snap, st.tech)
+	now := r.clock.Now()
 	pulled := 0
 	for _, ring := range snap.rings {
+		// Ring occupancy, sampled before the drain: queue-depth visibility
+		// for the exporter without a per-token cost. Empty rings are not
+		// recorded — an idle poller would otherwise bury the distribution
+		// under zeros.
+		if occ := ring.Len(); occ > 0 {
+			p.shard.Observe(telemetry.HistTxRingOccupancy, int64(occ))
+		}
 		for pulled < r.burst {
 			want := r.burst - pulled
 			if want > len(p.toks) {
@@ -149,14 +167,13 @@ func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
 				break
 			}
 			for i := 0; i < n; i++ {
-				r.enqueueToken(p, st, p.toks[i])
+				r.enqueueToken(p, st, p.toks[i], now)
 			}
 			pulled += n
 		}
 	}
 
 	// 2. Dequeue what the schedulers release at the current time.
-	now := r.clock.Now()
 	batch := p.batch
 	st.schedMu.Lock()
 	n := st.fifo.Dequeue(batch, now)
@@ -165,17 +182,20 @@ func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
 	if n == 0 {
 		return pulled
 	}
+	p.shard.Observe(telemetry.HistDispatchBatch, int64(n))
 
 	// 3. Dispatch the released packets.
-	r.dispatch(p, st, batch[:n])
+	r.dispatch(p, st, batch[:n], now)
 	return pulled + n
 }
 
 // enqueueToken converts a TX token into a packet and files it with the
 // stream's scheduler, charging the scheduling cost. The packet envelope
 // comes from the poller's free list: ownership passes to the scheduler
-// and returns to a poller cache when dispatch recycles it.
-func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken) {
+// and returns to a poller cache when dispatch recycles it. now is the
+// pass's clock reading; it stamps the dwell accounting and the TAS
+// arrival time.
+func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken, now timebase.VTime) {
 	buf, err := r.mm.Buf(tok.slot)
 	if err != nil {
 		// The session died between Emit and drain; nothing to send.
@@ -194,11 +214,15 @@ func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken) {
 		Breakdown: tok.bd,
 		Ctx:       env,
 	}
-	env.meta = outMeta{src: tok.src, seq: tok.seq, channel: tok.channel, timing: tok.timing}
+	env.meta = outMeta{
+		src: tok.src, seq: tok.seq, channel: tok.channel, timing: tok.timing,
+		enqVT: now, noTel: tok.noTel,
+	}
 	env.pkt.Charge(r.rc.Sched, tok.msgLen, 1, r.tb)
+	p.shard.Inc(telemetry.CtrSchedEnqueues)
 	st.schedMu.Lock()
 	if tok.timing == qos.TimingSensitive {
-		st.tas.Enqueue(&env.pkt, r.clock.Now())
+		st.tas.Enqueue(&env.pkt, now)
 	} else {
 		st.fifo.Enqueue(&env.pkt, 0)
 	}
@@ -206,8 +230,10 @@ func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken) {
 }
 
 // dispatch fans a batch of packets out to local sinks and remote peers,
-// records outcomes, and recycles the slots and packet envelopes.
-func (r *Runtime) dispatch(p *poller, st *techState, batch []*datapath.Packet) {
+// records outcomes, and recycles the slots and packet envelopes. now is
+// the pass's clock reading, used to close the scheduler-dwell interval
+// opened by enqueueToken.
+func (r *Runtime) dispatch(p *poller, st *techState, batch []*datapath.Packet, now timebase.VTime) {
 	for _, pkt := range batch {
 		env, ok := pkt.Ctx.(*pktEnv)
 		if !ok {
@@ -215,6 +241,10 @@ func (r *Runtime) dispatch(p *poller, st *techState, batch []*datapath.Packet) {
 			continue
 		}
 		meta := &env.meta
+		p.shard.Inc(telemetry.CtrDispatches)
+		if !meta.noTel {
+			p.shard.Observe(telemetry.HistSchedDwell, int64(now.Sub(meta.enqVT)))
+		}
 
 		// Local sinks first: co-located source/sink pairs communicate
 		// through shared memory directly (§5.1). The snapshot slice is
@@ -222,7 +252,7 @@ func (r *Runtime) dispatch(p *poller, st *techState, batch []*datapath.Packet) {
 		sinks := r.sinksFor(meta.channel)
 		if len(sinks) > 0 {
 			_ = r.mm.AddRef(pkt.Slot, len(sinks))
-			r.deliverLocal(pkt, meta.channel, sinks)
+			r.deliverLocal(p, pkt, meta.channel, sinks, meta.noTel)
 		}
 
 		// Remote peers that subscribed to the channel.
@@ -243,7 +273,7 @@ func (r *Runtime) dispatch(p *poller, st *techState, batch []*datapath.Packet) {
 			Err:         sendErr,
 		})
 		if sent > 0 {
-			r.txMessages.Add(uint64(sent))
+			p.shard.Add(telemetry.CtrTxMessages, uint64(sent))
 		}
 		_ = r.mm.Release(pkt.Slot)
 		env.pkt.Buf = nil
@@ -269,7 +299,7 @@ func (r *Runtime) sendToPeer(p *poller, st *techState, pkt *datapath.Packet, sub
 			alt = r.techs[model.TechKernelUDP]
 		}
 		target = alt
-		r.techDowngrades.Add(1)
+		p.shard.Inc(telemetry.CtrTechDowngrades)
 	}
 	ip, ok := sub.peer.Addrs[target.tech]
 	if !ok {
@@ -318,7 +348,7 @@ func (r *Runtime) sendToPeer(p *poller, st *techState, pkt *datapath.Packet, sub
 
 // deliverLocal pushes a packet's slot to co-located sinks via shared
 // memory (one reference each).
-func (r *Runtime) deliverLocal(pkt *datapath.Packet, channel uint32, sinks []*SinkHandle) {
+func (r *Runtime) deliverLocal(p *poller, pkt *datapath.Packet, channel uint32, sinks []*SinkHandle, noTel bool) {
 	payloadOff := pkt.Off + HeaderLen
 	payloadLen := pkt.Len - HeaderLen
 	for i, k := range sinks {
@@ -337,10 +367,13 @@ func (r *Runtime) deliverLocal(pkt *datapath.Packet, channel uint32, sinks []*Si
 		tok.bd.Recv += d
 		if !k.ring.TryPush(tok) {
 			_ = r.mm.Release(pkt.Slot)
-			r.ringFullDrops.Add(1)
+			p.shard.Inc(telemetry.CtrRingFullDrops)
 			continue
 		}
-		r.localDeliveries.Add(1)
+		p.shard.Inc(telemetry.CtrLocalDeliveries)
+		if !noTel {
+			p.shard.Observe(telemetry.HistDeliverLatency, int64(d))
+		}
 		k.wake()
 	}
 }
@@ -362,7 +395,7 @@ func (r *Runtime) deliveryCost(i int) time.Duration {
 // pollRX drains one technology's receive path: poll the plugin, run the
 // packet processing engine where needed, handle control messages, and
 // dispatch data to local sinks.
-func (r *Runtime) pollRX(st *techState) int {
+func (r *Runtime) pollRX(p *poller, st *techState) int {
 	st.mu.Lock()
 	pkts, err := st.ep.Poll(r.burst)
 	st.mu.Unlock()
@@ -370,13 +403,13 @@ func (r *Runtime) pollRX(st *techState) int {
 		return 0
 	}
 	for _, pkt := range pkts {
-		r.receiveOne(st, pkt)
+		r.receiveOne(p, st, pkt)
 	}
 	return len(pkts)
 }
 
 // receiveOne processes one inbound packet.
-func (r *Runtime) receiveOne(st *techState, pkt *datapath.Packet) {
+func (r *Runtime) receiveOne(p *poller, st *techState, pkt *datapath.Packet) {
 	if pkt.Framed {
 		// Packet processing engine, receive side.
 		pkt.Charge(r.rc.NetstackRx, pkt.Len, 1, r.tb)
@@ -405,7 +438,7 @@ func (r *Runtime) receiveOne(st *techState, pkt *datapath.Packet) {
 	case kindData:
 		// fallthrough below
 	}
-	r.rxMessages.Add(1)
+	p.shard.Inc(telemetry.CtrRxMessages)
 	// DMA/PCIe byte-touch cost of the runtime receive path.
 	touch := r.tb.Scale(model.ScaleRuntime, time.Duration(r.rc.RxDMATouchNs*float64(pkt.Len)))
 	pkt.VTime = pkt.VTime.Add(touch)
@@ -413,18 +446,18 @@ func (r *Runtime) receiveOne(st *techState, pkt *datapath.Packet) {
 
 	sinks := r.sinksFor(h.channel)
 	if len(sinks) == 0 {
-		r.noSinkDrops.Add(1)
+		p.shard.Inc(telemetry.CtrNoSinkDrops)
 		_ = r.mm.Release(pkt.Slot)
 		return
 	}
 	if len(sinks) > 1 {
 		_ = r.mm.AddRef(pkt.Slot, len(sinks)-1)
 	}
-	r.deliverRemote(pkt, h.channel, sinks)
+	r.deliverRemote(p, pkt, h.channel, sinks)
 }
 
 // deliverRemote hands a received packet's slot to the subscribed sinks.
-func (r *Runtime) deliverRemote(pkt *datapath.Packet, channel uint32, sinks []*SinkHandle) {
+func (r *Runtime) deliverRemote(p *poller, pkt *datapath.Packet, channel uint32, sinks []*SinkHandle) {
 	payloadOff := pkt.Off + HeaderLen
 	payloadLen := pkt.Len - HeaderLen
 	for i, k := range sinks {
@@ -442,8 +475,11 @@ func (r *Runtime) deliverRemote(pkt *datapath.Packet, channel uint32, sinks []*S
 		tok.bd.Recv += d
 		if !k.ring.TryPush(tok) {
 			_ = r.mm.Release(pkt.Slot)
-			r.ringFullDrops.Add(1)
+			p.shard.Inc(telemetry.CtrRingFullDrops)
 			continue
+		}
+		if !k.noTel {
+			p.shard.Observe(telemetry.HistDeliverLatency, int64(d))
 		}
 		k.wake()
 	}

@@ -15,6 +15,7 @@ import (
 	"github.com/insane-mw/insane/internal/netstack"
 	"github.com/insane-mw/insane/internal/ringbuf"
 	"github.com/insane-mw/insane/internal/sched"
+	"github.com/insane-mw/insane/internal/telemetry"
 	"github.com/insane-mw/insane/internal/timebase"
 )
 
@@ -146,12 +147,11 @@ type Runtime struct {
 	nextConnID   atomic.Int32
 	nextStreamID atomic.Uint64
 
-	txMessages      atomic.Uint64
-	rxMessages      atomic.Uint64
-	localDeliveries atomic.Uint64
-	noSinkDrops     atomic.Uint64
-	ringFullDrops   atomic.Uint64
-	techDowngrades  atomic.Uint64
+	// tel is the runtime's telemetry domain: one shard per polling
+	// thread plus a client-side stripe (DESIGN.md §8). Every activity
+	// counter the runtime used to keep ad hoc lives here now, so Stats,
+	// Inspect and the Prometheus exporter read one substrate.
+	tel *telemetry.Telemetry
 
 	pollers []*poller
 	stopped atomic.Bool
@@ -179,6 +179,10 @@ type poller struct {
 	// and send vector for sendToPeer (plugin Sends are synchronous).
 	sendPkt datapath.Packet
 	sendVec [1]*datapath.Packet
+	// shard is this poller's private telemetry slab; every hot-path
+	// counter bump and histogram observation lands here, so steady-state
+	// recording never bounces a cache line between pollers.
+	shard *telemetry.Shard
 	// loops counts polling iterations; session close uses it to wait for
 	// full passes so in-flight tokens drain before slots are reclaimed.
 	loops atomic.Uint64
@@ -293,7 +297,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			}
 		}
 	}
-	for _, g := range groups {
+	// One telemetry shard per polling thread (hot-path writers stay on
+	// private cache lines) plus a stripe for client-side handles.
+	r.tel = telemetry.New(len(groups) + clientTelemetryShards)
+	for i, g := range groups {
 		p := &poller{
 			states: g,
 			kick:   make(chan struct{}, 1),
@@ -302,6 +309,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			toks:   make([]txToken, burst),
 			snaps:  make([]txSnap, len(g)),
 			envs:   r.envPool.NewCache(envLocalCap),
+			shard:  r.tel.Shard(i),
 		}
 		r.pollers = append(r.pollers, p)
 		r.wg.Add(1)
@@ -309,6 +317,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	return r, nil
 }
+
+// clientTelemetryShards is how many extra telemetry shards back the
+// client-side handles (sources and sinks, striped round-robin).
+const clientTelemetryShards = 4
 
 // Envelope free-list sizing: the local cap absorbs a few bursts of
 // in-flight packets per poller; the shared ring rebalances envelopes
@@ -413,16 +425,58 @@ func (r *Runtime) Warnings() []string {
 // Stats returns a snapshot of the runtime counters.
 func (r *Runtime) Stats() Stats {
 	s := Stats{
-		TxMessages:      r.txMessages.Load(),
-		RxMessages:      r.rxMessages.Load(),
-		LocalDeliveries: r.localDeliveries.Load(),
-		NoSinkDrops:     r.noSinkDrops.Load(),
-		RingFullDrops:   r.ringFullDrops.Load(),
-		TechDowngrades:  r.techDowngrades.Load(),
+		TxMessages:      r.tel.Counter(telemetry.CtrTxMessages),
+		RxMessages:      r.tel.Counter(telemetry.CtrRxMessages),
+		LocalDeliveries: r.tel.Counter(telemetry.CtrLocalDeliveries),
+		NoSinkDrops:     r.tel.Counter(telemetry.CtrNoSinkDrops),
+		RingFullDrops:   r.tel.Counter(telemetry.CtrRingFullDrops),
+		TechDowngrades:  r.tel.Counter(telemetry.CtrTechDowngrades),
 		Endpoint:        make(map[model.Tech]datapath.Stats, len(r.techs)),
 	}
 	for t, st := range r.techs {
 		s.Endpoint[t] = st.ep.Stats()
+	}
+	return s
+}
+
+// Telemetry exposes the runtime's telemetry domain (exporters, tests).
+func (r *Runtime) Telemetry() *telemetry.Telemetry { return r.tel }
+
+// MetricsSnapshot merges every telemetry shard and samples the gauges
+// owned by other components (memory pools, envelope caches, scheduler
+// queues). It allocates and locks; call it from the control path only.
+func (r *Runtime) MetricsSnapshot() *telemetry.Snapshot {
+	s := r.tel.Snapshot()
+
+	ms := r.mm.Stats()
+	classes := r.mm.Classes()
+	mp := telemetry.MempoolSnapshot{
+		Gets:      ms.Gets,
+		Failures:  ms.Failures,
+		Releases:  ms.Releases,
+		FreeSlots: r.mm.FreeSlots(),
+		CapSlots:  make([]int, len(classes)),
+		SlotSizes: make([]int, len(classes)),
+	}
+	for i, c := range classes {
+		mp.CapSlots[i] = c.Slots
+		mp.SlotSizes[i] = c.SlotSize
+	}
+	s.Mempool = mp
+
+	for _, p := range r.pollers {
+		cs := p.envs.Stats()
+		s.EnvCache.Hits += cs.Hits
+		s.EnvCache.Refills += cs.Refills
+		s.EnvCache.Misses += cs.Misses
+		s.EnvCache.Recycles += cs.Recycles
+		s.EnvCache.Drops += cs.Drops
+	}
+
+	for _, st := range r.techs {
+		st.schedMu.Lock()
+		s.SchedQueueDepth += uint64(st.fifo.Pending() + st.tas.Pending())
+		st.schedMu.Unlock()
 	}
 	return s
 }

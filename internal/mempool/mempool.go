@@ -297,6 +297,24 @@ func (m *Manager) FreeSlots() []int {
 	return out
 }
 
+// ClassInfo describes one configured size class.
+type ClassInfo struct {
+	// SlotSize is the usable bytes per slot.
+	SlotSize int
+	// Slots is the configured slot count of the class.
+	Slots int
+}
+
+// Classes reports the configured size classes, smallest first; exporters
+// pair it with FreeSlots to publish capacity and occupancy gauges.
+func (m *Manager) Classes() []ClassInfo {
+	out := make([]ClassInfo, len(m.pools))
+	for i, p := range m.pools {
+		out[i] = ClassInfo{SlotSize: p.slotSize, Slots: len(p.states)}
+	}
+	return out
+}
+
 // Stats reports cumulative manager activity.
 type Stats struct {
 	Gets     uint64 // successful borrows

@@ -108,6 +108,9 @@ type Options struct {
 	// Mapper overrides the default mapping strategy when non-nil
 	// ("according to a user-configured mapping strategy", §5.2).
 	Mapper Mapper
+	// NoTelemetry opts this stream's messages out of the per-stage
+	// latency histograms (counters still run); see DESIGN.md §8.
+	NoTelemetry bool
 }
 
 // normalized fills zero values with the defaults.

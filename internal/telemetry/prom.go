@@ -1,0 +1,205 @@
+// Prometheus text exposition (version 0.0.4) for telemetry snapshots.
+// The exporter runs on the control path only: it renders merged
+// snapshots, never touches live shards, and coalesces the fine log-linear
+// buckets to one `le` per octave so a scrape stays compact while the
+// in-memory histograms keep their full resolution for quantiles.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// MetricPrefix namespaces every exported series.
+const MetricPrefix = "insane_"
+
+// counterHelp documents each counter for # HELP lines and the DESIGN.md
+// reference table.
+var counterHelp = [NumCounters]string{
+	CtrEmits:            "Messages admitted by Emit into a session TX ring.",
+	CtrEmitBytes:        "Payload bytes admitted by Emit.",
+	CtrEmitBackpressure: "Emit attempts rejected because the TX ring was full.",
+	CtrSchedEnqueues:    "Packets filed with a per-technology scheduler.",
+	CtrDispatches:       "Packets dispatched out of the schedulers.",
+	CtrTxMessages:       "Data messages sent to remote peers (per-peer sends).",
+	CtrRxMessages:       "Data messages received from the network.",
+	CtrLocalDeliveries:  "Shared-memory deliveries to co-located sinks.",
+	CtrNoSinkDrops:      "Received messages dropped for lack of a subscribed sink.",
+	CtrRingFullDrops:    "Deliveries dropped on full sink rings (backpressure).",
+	CtrTechDowngrades:   "Remote sends forced below the stream's mapped technology.",
+	CtrConsumes:         "Deliveries handed to the application by Consume.",
+	CtrConsumeBytes:     "Payload bytes handed to the application by Consume.",
+}
+
+// histHelp documents each histogram.
+var histHelp = [NumHists]string{
+	HistSchedDwell:      "Time a packet spends queued in a scheduler before dispatch.",
+	HistTxRingOccupancy: "Session TX ring depth sampled at each drain pass.",
+	HistDispatchBatch:   "Packets per non-empty dispatch batch.",
+	HistDeliverLatency:  "Charged per-sink delivery cost.",
+	HistConsumeLatency:  "End-to-end one-way virtual latency observed at Consume.",
+	HistStageSend:       "Send-stage share of the one-way latency (Fig. 6).",
+	HistStageNetwork:    "Network-stage share of the one-way latency (Fig. 6).",
+	HistStageRecv:       "Receive-stage share of the one-way latency (Fig. 6).",
+	HistStageProcessing: "Processing-stage share of the one-way latency (Fig. 6).",
+}
+
+// CounterMetricName returns the full Prometheus series name of a counter.
+func CounterMetricName(c CounterID) string {
+	return MetricPrefix + counterNames[c] + "_total"
+}
+
+// HistMetricName returns the full Prometheus series name of a histogram.
+func HistMetricName(h HistID) string {
+	if LatencyHist(h) {
+		return MetricPrefix + histNames[h] + "_seconds"
+	}
+	return MetricPrefix + histNames[h]
+}
+
+// CounterHelp returns the # HELP text of a counter.
+func CounterHelp(c CounterID) string { return counterHelp[c] }
+
+// HistHelp returns the # HELP text of a histogram.
+func HistHelp(h HistID) string { return histHelp[h] }
+
+// NodeSnapshot pairs a node name with its merged snapshot for export.
+type NodeSnapshot struct {
+	Node string
+	Snap *Snapshot
+}
+
+// WriteProm renders the snapshots in Prometheus text format: one
+// HELP/TYPE block per metric, one series per node (label node="...").
+func WriteProm(w io.Writer, nodes []NodeSnapshot) error {
+	bw := &errWriter{w: w}
+
+	for c := CounterID(0); c < NumCounters; c++ {
+		name := CounterMetricName(c)
+		bw.printf("# HELP %s %s\n# TYPE %s counter\n", name, counterHelp[c], name)
+		for _, n := range nodes {
+			bw.printf("%s{node=%q} %d\n", name, n.Node, n.Snap.Counters[c])
+		}
+	}
+
+	for h := HistID(0); h < NumHists; h++ {
+		name := HistMetricName(h)
+		bw.printf("# HELP %s %s\n# TYPE %s histogram\n", name, histHelp[h], name)
+		for _, n := range nodes {
+			writeHist(bw, name, n.Node, &n.Snap.Hists[h], LatencyHist(h))
+		}
+	}
+
+	writeMempool(bw, nodes)
+	writeEnvCache(bw, nodes)
+
+	name := MetricPrefix + "sched_queue_depth"
+	bw.printf("# HELP %s Packets parked in the per-technology schedulers.\n# TYPE %s gauge\n", name, name)
+	for _, n := range nodes {
+		bw.printf("%s{node=%q} %d\n", name, n.Node, n.Snap.SchedQueueDepth)
+	}
+	return bw.err
+}
+
+// writeHist renders one node's histogram series. The fine buckets are
+// coalesced per octave; cumulative counts and `le` bounds follow the
+// exposition-format contract (le is an inclusive upper bound, the +Inf
+// bucket equals _count).
+func writeHist(bw *errWriter, name, node string, s *HistSnapshot, seconds bool) {
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Buckets[i]
+		if (i+1)%histSub != 0 && i != NumBuckets-1 {
+			continue // emit one le per octave boundary
+		}
+		le := float64(BucketUpper(i))
+		if seconds {
+			le /= 1e9
+		}
+		bw.printf("%s_bucket{node=%q,le=%q} %d\n",
+			name, node, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	bw.printf("%s_bucket{node=%q,le=\"+Inf\"} %d\n", name, node, cum)
+	sum := float64(s.Sum)
+	if seconds {
+		sum /= 1e9
+	}
+	bw.printf("%s_sum{node=%q} %s\n", name, node, strconv.FormatFloat(sum, 'g', -1, 64))
+	bw.printf("%s_count{node=%q} %d\n", name, node, cum)
+}
+
+// writeMempool renders the memory-manager series.
+func writeMempool(bw *errWriter, nodes []NodeSnapshot) {
+	type ctr struct{ name, help string }
+	ctrs := []ctr{
+		{"mempool_gets_total", "Successful slot borrows from the memory manager."},
+		{"mempool_failures_total", "Slot requests failed (pools exhausted or oversized)."},
+		{"mempool_releases_total", "Slots fully recycled to their free rings."},
+	}
+	pick := func(m MempoolSnapshot, i int) uint64 {
+		switch i {
+		case 0:
+			return m.Gets
+		case 1:
+			return m.Failures
+		default:
+			return m.Releases
+		}
+	}
+	for i, c := range ctrs {
+		name := MetricPrefix + c.name
+		bw.printf("# HELP %s %s\n# TYPE %s counter\n", name, c.help, name)
+		for _, n := range nodes {
+			bw.printf("%s{node=%q} %d\n", name, n.Node, pick(n.Snap.Mempool, i))
+		}
+	}
+	free := MetricPrefix + "mempool_free_slots"
+	bw.printf("# HELP %s Free slots per size class.\n# TYPE %s gauge\n", free, free)
+	for _, n := range nodes {
+		m := n.Snap.Mempool
+		for i, f := range m.FreeSlots {
+			bw.printf("%s{node=%q,class=\"%d\"} %d\n", free, n.Node, m.SlotSizes[i], f)
+		}
+	}
+	capName := MetricPrefix + "mempool_capacity_slots"
+	bw.printf("# HELP %s Configured slots per size class.\n# TYPE %s gauge\n", capName, capName)
+	for _, n := range nodes {
+		m := n.Snap.Mempool
+		for i, c := range m.CapSlots {
+			bw.printf("%s{node=%q,class=\"%d\"} %d\n", capName, n.Node, m.SlotSizes[i], c)
+		}
+	}
+}
+
+// writeEnvCache renders the packet-envelope free-list series.
+func writeEnvCache(bw *errWriter, nodes []NodeSnapshot) {
+	name := MetricPrefix + "envcache_events_total"
+	bw.printf("# HELP %s Packet-envelope free-list events by kind.\n# TYPE %s counter\n", name, name)
+	for _, n := range nodes {
+		e := n.Snap.EnvCache
+		for _, kv := range [...]struct {
+			k string
+			v uint64
+		}{
+			{"hit", e.Hits}, {"refill", e.Refills}, {"miss", e.Misses},
+			{"recycle", e.Recycles}, {"drop", e.Drops},
+		} {
+			bw.printf("%s{node=%q,event=%q} %d\n", name, n.Node, kv.k, kv.v)
+		}
+	}
+}
+
+// errWriter folds write errors so the render body stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

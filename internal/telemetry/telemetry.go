@@ -1,0 +1,236 @@
+// Package telemetry is the runtime's always-on observability substrate
+// (DESIGN.md §8): per-poller, cache-line-padded counter/histogram shards
+// written with plain atomic stores on the hot path, merged into immutable
+// snapshots off it. The design goals, in order:
+//
+//  1. Zero allocations and no locks on the publish path — every metric
+//     lives in a preallocated array inside a shard, so recording is an
+//     index computation plus an atomic add (the allocation-gate tests
+//     TestSteadyStateZeroAlloc{,Core} cover the instrumented path).
+//  2. No cross-core cache-line bouncing in steady state — each polling
+//     thread owns one shard, client-side handles (sources, sinks) are
+//     striped round-robin over a small set of extra shards, and shards
+//     are padded so two writers never share a line.
+//  3. Cheap reads at any time — Snapshot() sums the shards; readers
+//     never stall writers.
+package telemetry
+
+import "sync/atomic"
+
+// CounterID enumerates the hot-path event counters. Keep NameOf and the
+// DESIGN.md §8 reference table in sync when adding one.
+type CounterID int
+
+// Hot-path counters.
+const (
+	// CtrEmits counts messages admitted by Emit into a TX ring.
+	CtrEmits CounterID = iota
+	// CtrEmitBytes accumulates admitted payload bytes.
+	CtrEmitBytes
+	// CtrEmitBackpressure counts Emits rejected with a full TX ring.
+	CtrEmitBackpressure
+	// CtrSchedEnqueues counts packets filed with a scheduler.
+	CtrSchedEnqueues
+	// CtrDispatches counts packets dispatched out of the schedulers.
+	CtrDispatches
+	// CtrTxMessages counts per-peer remote sends.
+	CtrTxMessages
+	// CtrRxMessages counts data messages received from the network.
+	CtrRxMessages
+	// CtrLocalDeliveries counts shared-memory deliveries to local sinks.
+	CtrLocalDeliveries
+	// CtrNoSinkDrops counts received messages with no subscribed sink.
+	CtrNoSinkDrops
+	// CtrRingFullDrops counts deliveries dropped on full sink rings.
+	CtrRingFullDrops
+	// CtrTechDowngrades counts remote sends below the stream's mapped
+	// technology (QoS fallback to a plane the peer actually has).
+	CtrTechDowngrades
+	// CtrConsumes counts deliveries handed to the application.
+	CtrConsumes
+	// CtrConsumeBytes accumulates consumed payload bytes.
+	CtrConsumeBytes
+
+	// NumCounters sizes the per-shard counter array.
+	NumCounters
+)
+
+// counterNames are the stable identifiers used by exporters.
+var counterNames = [NumCounters]string{
+	CtrEmits:            "emits",
+	CtrEmitBytes:        "emit_bytes",
+	CtrEmitBackpressure: "emit_backpressure",
+	CtrSchedEnqueues:    "sched_enqueues",
+	CtrDispatches:       "dispatches",
+	CtrTxMessages:       "tx_messages",
+	CtrRxMessages:       "rx_messages",
+	CtrLocalDeliveries:  "local_deliveries",
+	CtrNoSinkDrops:      "drops_no_sink",
+	CtrRingFullDrops:    "drops_ring_full",
+	CtrTechDowngrades:   "tech_downgrades",
+	CtrConsumes:         "consumes",
+	CtrConsumeBytes:     "consume_bytes",
+}
+
+// NameOf returns the stable exporter name of a counter.
+func NameOf(c CounterID) string { return counterNames[c] }
+
+// HistID enumerates the per-stage histograms. Latency histograms record
+// nanoseconds; size histograms record dimensionless quantities.
+type HistID int
+
+// Pipeline-stage histograms (the §6 per-stage breakdown, live).
+const (
+	// HistSchedDwell is the time a packet spends between scheduler
+	// enqueue and dispatch (runtime clock), ns.
+	HistSchedDwell HistID = iota
+	// HistTxRingOccupancy samples a session TX ring's depth at each
+	// drain pass (dimensionless).
+	HistTxRingOccupancy
+	// HistDispatchBatch records the packet count of each non-empty
+	// dispatch batch (dimensionless).
+	HistDispatchBatch
+	// HistDeliverLatency records the charged per-sink delivery cost, ns.
+	HistDeliverLatency
+	// HistConsumeLatency records the end-to-end one-way virtual latency
+	// observed at Consume, ns.
+	HistConsumeLatency
+	// HistStageSend/Network/Recv/Processing split HistConsumeLatency by
+	// Fig. 6 stage, ns.
+	HistStageSend
+	HistStageNetwork
+	HistStageRecv
+	HistStageProcessing
+
+	// NumHists sizes the per-shard histogram array.
+	NumHists
+)
+
+// histNames are the stable identifiers used by exporters.
+var histNames = [NumHists]string{
+	HistSchedDwell:      "sched_dwell",
+	HistTxRingOccupancy: "txring_occupancy",
+	HistDispatchBatch:   "dispatch_batch",
+	HistDeliverLatency:  "deliver_latency",
+	HistConsumeLatency:  "consume_latency",
+	HistStageSend:       "stage_send",
+	HistStageNetwork:    "stage_network",
+	HistStageRecv:       "stage_recv",
+	HistStageProcessing: "stage_processing",
+}
+
+// HistNameOf returns the stable exporter name of a histogram.
+func HistNameOf(h HistID) string { return histNames[h] }
+
+// LatencyHist reports whether a histogram records nanoseconds (true) or
+// a dimensionless size (false); exporters use it to pick units.
+func LatencyHist(h HistID) bool {
+	return h != HistTxRingOccupancy && h != HistDispatchBatch
+}
+
+// Shard is one writer-private slab of counters and histograms. The
+// canonical owner is a single goroutine (a polling thread), but all
+// writes are atomic, so striping several client goroutines over one
+// shard stays correct — it only costs contention, never lost updates.
+type Shard struct {
+	counters [NumCounters]atomic.Uint64
+	hists    [NumHists]Hist
+	// pad keeps neighboring shards on distinct cache lines even though
+	// the shards are individually heap-allocated (the allocator may
+	// still co-locate two small tails).
+	pad [64]byte //nolint:unused // padding, deliberately never read
+}
+
+// Inc adds 1 to a counter.
+func (s *Shard) Inc(c CounterID) { s.counters[c].Add(1) }
+
+// Add adds n to a counter.
+func (s *Shard) Add(c CounterID, n uint64) { s.counters[c].Add(n) }
+
+// Observe records one value into a histogram.
+func (s *Shard) Observe(h HistID, v int64) { s.hists[h].observe(v) }
+
+// Telemetry owns the shard set of one runtime.
+type Telemetry struct {
+	shards []*Shard
+	next   atomic.Uint32
+}
+
+// New creates a telemetry domain with n shards (at least 1): typically
+// one per polling thread plus a few for client-side handles.
+func New(n int) *Telemetry {
+	if n < 1 {
+		n = 1
+	}
+	t := &Telemetry{shards: make([]*Shard, n)}
+	for i := range t.shards {
+		t.shards[i] = new(Shard)
+	}
+	return t
+}
+
+// Shard returns shard i (i < the n given to New); pollers bind their
+// shard once at startup.
+func (t *Telemetry) Shard(i int) *Shard { return t.shards[i] }
+
+// AssignShard hands out shards round-robin; sources and sinks call it
+// once at creation so concurrent client goroutines spread over the
+// shard set instead of hammering one line.
+func (t *Telemetry) AssignShard() *Shard {
+	return t.shards[int(t.next.Add(1))%len(t.shards)]
+}
+
+// Snapshot is a merged, immutable view of every shard, plus the
+// capacity gauges the runtime fills in (pool and cache state is owned
+// by other packages and sampled at snapshot time).
+type Snapshot struct {
+	Counters [NumCounters]uint64
+	Hists    [NumHists]HistSnapshot
+
+	// Mempool is the slot-pool activity sampled at snapshot time.
+	Mempool MempoolSnapshot
+	// EnvCache aggregates the pollers' packet-envelope free lists.
+	EnvCache EnvCacheSnapshot
+	// SchedQueueDepth is the total packets parked in the schedulers.
+	SchedQueueDepth uint64
+}
+
+// MempoolSnapshot mirrors the memory manager's counters and per-class
+// free-slot gauges.
+type MempoolSnapshot struct {
+	Gets, Failures, Releases uint64
+	// FreeSlots and CapSlots are per size class, smallest first.
+	FreeSlots, CapSlots []int
+	// SlotSizes lists the per-class slot sizes, smallest first.
+	SlotSizes []int
+}
+
+// EnvCacheSnapshot aggregates the per-poller envelope cache counters.
+type EnvCacheSnapshot struct {
+	Hits, Refills, Misses, Recycles, Drops uint64
+}
+
+// Snapshot merges all shards. It allocates and is intended for the
+// control path (exporters, Inspect, tests), never the data path.
+func (t *Telemetry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for _, sh := range t.shards {
+		for c := range s.Counters {
+			s.Counters[c] += sh.counters[c].Load()
+		}
+		for h := range s.Hists {
+			s.Hists[h].merge(&sh.hists[h])
+		}
+	}
+	return s
+}
+
+// Counter returns one merged counter value without building a full
+// snapshot (cheap enough for polling in tests).
+func (t *Telemetry) Counter(c CounterID) uint64 {
+	var v uint64
+	for _, sh := range t.shards {
+		v += sh.counters[c].Load()
+	}
+	return v
+}

@@ -30,6 +30,9 @@ type Meta struct {
 	Topic string
 	// Latency is the one-way virtual latency including MoM overhead.
 	Latency time.Duration
+	// Stages splits Latency into INSANE's pipeline stages; the MoM
+	// overhead is accounted to Processing.
+	Stages insane.Stages
 }
 
 // Handler consumes one publication. The payload is only valid during the
@@ -144,9 +147,12 @@ func (m *MoM) Subscribe(topic string, handler Handler) error {
 	m.mu.Unlock()
 
 	sink, err := m.stream.CreateSink(TopicChannel(topic), func(msg *insane.Message) {
+		st := msg.Stages()
+		st.Processing += momOverhead
 		handler(msg.Payload, Meta{
 			Topic:   topic,
 			Latency: msg.Latency + momOverhead,
+			Stages:  st,
 		})
 	})
 	if err != nil {

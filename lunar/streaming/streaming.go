@@ -184,6 +184,9 @@ type Frame struct {
 	// Latency is the end-to-end virtual time from first emission to
 	// reassembly completion.
 	Latency time.Duration
+	// Stages splits the latency of the slowest fragment (the one that
+	// completed the frame) by pipeline stage.
+	Stages insane.Stages
 	// Fragments is how many fragments composed the frame.
 	Fragments int
 }
@@ -208,6 +211,7 @@ type assembly struct {
 	seen    []bool
 	missing int
 	latency time.Duration
+	stages  insane.Stages
 }
 
 // Connect opens the client side of a named stream.
@@ -274,6 +278,7 @@ func (c *Client) onFragment(m *insane.Message) {
 	asm.missing--
 	if m.Latency > asm.latency {
 		asm.latency = m.Latency
+		asm.stages = m.Stages()
 	}
 	if asm.missing > 0 {
 		return
@@ -283,6 +288,7 @@ func (c *Client) onFragment(m *insane.Message) {
 		ID:        id,
 		Data:      asm.data,
 		Latency:   asm.latency,
+		Stages:    asm.stages,
 		Fragments: count,
 	})
 	select {
