@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet lint bench bench-baseline metrics-smoke experiments demo examples loc help
+.PHONY: all test race vet lint lint-hotpath bench bench-baseline metrics-smoke experiments demo examples loc help
 
 all: vet test lint ## vet + test + lint (the CI gate)
 
@@ -20,6 +20,9 @@ vet: ## run go vet
 
 lint: ## run the insanevet static-analysis suite (see README, "Static analysis")
 	$(GO) run ./cmd/insanevet ./...
+
+lint-hotpath: ## prove the //insane:hotpath call graph allocation- and block-free
+	$(GO) run ./cmd/insanevet -run hotpathcheck ./...
 
 bench: ## run every benchmark
 	$(GO) test -bench=. -benchmem ./...

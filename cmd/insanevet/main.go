@@ -1,16 +1,23 @@
 // Command insanevet vets the INSANE tree for violations of the runtime
 // conventions the compiler cannot check: zero-copy buffer ownership
-// (§5.1), poller lock ordering (§5.3), atomic-counter discipline and
-// timebase-routed clock reads. See README, "Static analysis".
+// (§5.1), poller lock ordering (§5.3), atomic-counter discipline,
+// timebase-routed clock reads, errors.Is discipline on wrapped
+// sentinels, and — via the whole-program hotpathcheck rule — freedom
+// from allocation and blocking on every //insane:hotpath-rooted call
+// chain. See README, "Static analysis".
 //
 // Usage:
 //
-//	go run ./cmd/insanevet ./...        # whole module (CI entry point)
-//	go run ./cmd/insanevet -list        # describe the rules
-//	go run ./cmd/insanevet ./internal/core ./insane/...
+//	go run ./cmd/insanevet ./...               # whole module (CI entry point)
+//	go run ./cmd/insanevet -list               # describe the rules
+//	go run ./cmd/insanevet -json ./...         # findings as JSON (CI annotation)
+//	go run ./cmd/insanevet -run hotpathcheck ./...
 //
-// Findings print in go-vet style; the command exits non-zero when any
-// survive suppression. Waive one with an explicit, reasoned directive:
+// Findings print in go-vet style. Exit codes: 0 clean, 1 findings,
+// 2 usage or load error — including packages that failed to parse or
+// type-check, which are listed on stderr and treated as a failure so a
+// silent skip can never let violations through. Waive one finding with
+// an explicit, reasoned directive:
 //
 //	//lint:ignore insanevet/<rule> <reason>
 package main

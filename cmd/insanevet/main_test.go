@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errw.String())
 	}
-	for _, name := range []string{"bufownership", "lockorder", "atomicfield", "timebase"} {
+	for _, name := range []string{"bufownership", "lockorder", "atomicfield", "timebase", "hotpathcheck", "sentinelcompare"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -30,6 +31,62 @@ func TestDirtyModuleFails(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "used after Emit") {
 		t.Errorf("expected a bufownership finding, got:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks the -json wire form CI consumes: a parseable
+// array whose entries carry analyzer, position and message.
+func TestJSONOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := multichecker.Run([]string{"-C", "testdata/dirty", "-json", "./..."}, &out, &errw, lint.Analyzers()...)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json produced an empty array for a dirty module")
+	}
+	for _, f := range findings {
+		if f.Analyzer == "" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+	}
+}
+
+// TestBrokenModuleSkipsAndFails: a package that cannot be type-checked
+// was never analyzed, so the driver must name it and exit 2.
+func TestBrokenModuleSkipsAndFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := multichecker.Run([]string{"-C", "testdata/broken", "./..."}, &out, &errw, lint.Analyzers()...)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(errw.String(), "skipped") {
+		t.Errorf("stderr does not announce skipped packages:\n%s", errw.String())
+	}
+	if !strings.Contains(errw.String(), "broken") {
+		t.Errorf("stderr does not name the skipped package:\n%s", errw.String())
+	}
+}
+
+// TestUnknownAnalyzerName: -run with a name not in the suite is a
+// usage error.
+func TestUnknownAnalyzerName(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := multichecker.Run([]string{"-run", "nosuch", "./..."}, &out, &errw, lint.Analyzers()...)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "no analyzer named") {
+		t.Errorf("stderr missing the unknown-name message:\n%s", errw.String())
 	}
 }
 

@@ -1,0 +1,8 @@
+// Package broken fails to type-check; the driver must report it as
+// skipped and exit 2 rather than silently passing a tree it never
+// analyzed.
+package broken
+
+func oops() int {
+	return "not an int"
+}

@@ -1,0 +1,3 @@
+module example.com/broken
+
+go 1.22

@@ -28,6 +28,10 @@ var (
 	// ErrNoDatapath is returned by CreateStream when the QoS mapping
 	// picked a technology this node has no endpoint for.
 	ErrNoDatapath = errors.New("insane: no datapath for mapped technology")
+	// ErrBufferConsumed is returned by Emit when the buffer is nil or its
+	// ownership already moved to the runtime (a previous successful Emit).
+	// A static sentinel: Emit sits on the zero-allocation hot path.
+	ErrBufferConsumed = errors.New("insane: emit of nil or already-emitted buffer")
 )
 
 // publicErr translates an internal error to the package's sentinels.

@@ -232,6 +232,8 @@ func (s *Source) Channel() int { return int(s.h.Channel()) }
 
 // GetBuffer borrows a buffer able to hold size payload bytes from the
 // runtime memory manager (get_buffer).
+//
+//insane:hotpath
 func (s *Source) GetBuffer(size int) (*Buffer, error) {
 	b, err := s.h.GetBuffer(size)
 	if err != nil {
@@ -243,6 +245,8 @@ func (s *Source) GetBuffer(size int) (*Buffer, error) {
 }
 
 // Abort returns an unsent buffer to the pool.
+//
+//insane:hotpath
 func (s *Source) Abort(b *Buffer) {
 	if b != nil && b.inner != nil {
 		s.h.Abort(b.inner)
@@ -269,9 +273,11 @@ func (b *Buffer) ContinueFrom(m *Message) {
 
 // Emit hands the first n payload bytes to the runtime for asynchronous
 // transmission (emit_data) and returns a token for EmitOutcome.
+//
+//insane:hotpath
 func (s *Source) Emit(b *Buffer, n int) (uint32, error) {
 	if b == nil || b.inner == nil {
-		return 0, errors.New("insane: emit of nil or already-emitted buffer")
+		return 0, ErrBufferConsumed
 	}
 	seq, err := s.h.Emit(b.inner, n)
 	if err == nil {
@@ -351,6 +357,8 @@ func (k *Sink) Available() int { return k.h.Available() }
 // context is canceled. This is the preferred consumption call; Consume
 // and ConsumeTimeout are retained as thin wrappers over the same
 // primitive.
+//
+//insane:hotpath allow=block
 func (k *Sink) ConsumeContext(ctx context.Context) (*Message, error) {
 	var timeout time.Duration
 	if deadline, ok := ctx.Deadline(); ok {
@@ -386,6 +394,8 @@ func (k *Sink) ConsumeContext(ctx context.Context) (*Message, error) {
 //
 // Deprecated: use ConsumeContext, which supports cancellation; Consume
 // remains for the paper's boolean-flag consume_data signature.
+//
+//insane:hotpath allow=block
 func (k *Sink) Consume(block bool) (*Message, error) {
 	if !block {
 		d, err := k.h.TryConsume()
@@ -403,6 +413,8 @@ func (k *Sink) Consume(block bool) (*Message, error) {
 //
 // Deprecated: prefer ConsumeContext when cancellation matters more than
 // the last allocation.
+//
+//insane:hotpath allow=block
 func (k *Sink) ConsumeTimeout(d time.Duration) (*Message, error) {
 	del, err := k.h.ConsumeCancel(nil, d)
 	if err != nil {
@@ -413,6 +425,8 @@ func (k *Sink) ConsumeTimeout(d time.Duration) (*Message, error) {
 
 // Release returns a consumed message's memory to the runtime
 // (release_buffer).
+//
+//insane:hotpath
 func (k *Sink) Release(m *Message) {
 	if m != nil && m.d != nil {
 		k.h.Release(m.d)

@@ -35,6 +35,10 @@ var (
 	// ErrNoDatapath is returned by OpenStream when the QoS mapping
 	// picked a technology this host has no open endpoint for.
 	ErrNoDatapath = errors.New("core: no endpoint for mapped technology")
+	// ErrEmitRange is returned by Emit when the length is negative or
+	// exceeds the buffer's payload capacity. It is a static sentinel —
+	// Emit is on the hot path and must not format an error per call.
+	ErrEmitRange = errors.New("core: emit length out of range")
 )
 
 // txToken travels from the client library to the runtime over the
@@ -364,6 +368,8 @@ type SourceHandle struct {
 func (s *SourceHandle) Channel() uint32 { return s.channel }
 
 // GetBuffer borrows a zero-copy buffer able to hold size payload bytes.
+//
+//insane:hotpath
 func (s *SourceHandle) GetBuffer(size int) (*Buffer, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
@@ -382,6 +388,8 @@ func (s *SourceHandle) GetBuffer(size int) (*Buffer, error) {
 }
 
 // Abort returns an unsent buffer to the pool.
+//
+//insane:hotpath
 func (s *SourceHandle) Abort(b *Buffer) {
 	if b != nil && b.buf != nil {
 		_ = s.stream.conn.rt.mm.Release(b.Slot)
@@ -394,12 +402,14 @@ func (s *SourceHandle) Abort(b *Buffer) {
 // transmission (emit_data) and returns the sequence number usable with
 // Outcome. Ownership of the buffer passes to the runtime; on
 // ErrBackpressure the caller keeps it and may retry.
+//
+//insane:hotpath
 func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
 	if n < 0 || n > len(b.Payload) {
-		return 0, fmt.Errorf("core: emit length %d out of range 0-%d", n, len(b.Payload))
+		return 0, ErrEmitRange
 	}
 	seq := s.seq.Add(1)
 	st := s.stream
@@ -446,6 +456,7 @@ const headroomOffset = MsgHeadroom - HeaderLen
 
 // recordOutcome stores the fate of an emitted message.
 func (s *SourceHandle) recordOutcome(o Outcome) {
+	//lint:ignore insanevet/hotpathcheck outcome-window lock; bounded array write, never held across I/O
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	idx := int(o.Seq) % outcomeWindow
@@ -505,6 +516,8 @@ func (k *SinkHandle) Available() int { return k.ring.Len() }
 
 // TryConsume pops one delivery without blocking (consume_data with the
 // non-blocking flag).
+//
+//insane:hotpath
 func (k *SinkHandle) TryConsume() (*Delivery, error) {
 	if k.closed.Load() {
 		return nil, ErrClosed
@@ -544,6 +557,7 @@ func getTimer(d time.Duration) *time.Timer {
 		t.Reset(d)
 		return t
 	}
+	//lint:ignore insanevet/hotpathcheck timer-pool miss; steady state reuses parked timers
 	return time.NewTimer(d)
 }
 
@@ -561,6 +575,8 @@ func putTimer(t *time.Timer) {
 
 // Consume blocks until a delivery arrives or the timeout elapses
 // (consume_data with the blocking flag). A zero timeout waits forever.
+//
+//insane:hotpath allow=block
 func (k *SinkHandle) Consume(timeout time.Duration) (*Delivery, error) {
 	return k.ConsumeCancel(nil, timeout)
 }
@@ -570,6 +586,8 @@ func (k *SinkHandle) Consume(timeout time.Duration) (*Delivery, error) {
 // never fires; a zero timeout waits forever. The public layer builds
 // context-aware consumption on top of this primitive without forcing a
 // context (and its allocations) onto the timeout-only path.
+//
+//insane:hotpath allow=block
 func (k *SinkHandle) ConsumeCancel(cancel <-chan struct{}, timeout time.Duration) (*Delivery, error) {
 	// Fast path: data is already queued — no timer needed.
 	d, err := k.TryConsume()
@@ -602,6 +620,8 @@ func (k *SinkHandle) ConsumeCancel(cancel <-chan struct{}, timeout time.Duration
 
 // Release returns a consumed delivery's memory to the pool
 // (release_buffer).
+//
+//insane:hotpath
 func (k *SinkHandle) Release(d *Delivery) {
 	if d == nil || d.Payload == nil {
 		return // nil or already-released delivery

@@ -80,20 +80,24 @@ func encodeHeader(buf []byte, h header) {
 	buf[14], buf[15] = 0, 0
 }
 
-// decodeHeader parses and validates an INSANE header.
+// decodeHeader parses and validates an INSANE header. It returns the
+// static errBadHeader sentinel on every failure: the RX poll loop calls
+// it per packet, and a hostile sender spraying malformed frames must
+// not be able to drive per-packet error formatting (hot-path rule;
+// match on errors.Is(err, errBadHeader) rather than the message).
 func decodeHeader(buf []byte) (header, error) {
 	if len(buf) < HeaderLen {
-		return header{}, fmt.Errorf("%w: %d bytes", errBadHeader, len(buf))
+		return header{}, errBadHeader
 	}
 	if binary.BigEndian.Uint16(buf[0:2]) != headerMagic {
-		return header{}, fmt.Errorf("%w: magic %#x", errBadHeader, binary.BigEndian.Uint16(buf[0:2]))
+		return header{}, errBadHeader
 	}
 	if buf[2] != headerVersion {
-		return header{}, fmt.Errorf("%w: version %d", errBadHeader, buf[2])
+		return header{}, errBadHeader
 	}
 	k := msgKind(buf[3])
 	if k < kindData || k > kindUnsub {
-		return header{}, fmt.Errorf("%w: kind %d", errBadHeader, buf[3])
+		return header{}, errBadHeader
 	}
 	return header{
 		kind:    k,

@@ -46,11 +46,14 @@ type pktEnv struct {
 }
 
 // pollLoop is the body of one polling thread.
+//
+//insane:hotpath allow=block
 func (r *Runtime) pollLoop(p *poller) {
 	defer r.wg.Done()
 	backoff := idleSleepMin
 	// One reusable timer for idle pacing; time.After would allocate a
 	// timer (and a channel) per idle iteration.
+	//lint:ignore insanevet/hotpathcheck one-time timer allocation at poller startup
 	timer := time.NewTimer(idleSleepMax)
 	if !timer.Stop() {
 		<-timer.C
@@ -132,6 +135,7 @@ func (r *Runtime) refreshTxSnap(s *txSnap, tech model.Tech) {
 		ring := c.txRings[tech]
 		c.mu.Unlock()
 		if ring != nil {
+			//lint:ignore insanevet/hotpathcheck topology-epoch rebuild; the steady-state drain pass never reaches this
 			s.rings = append(s.rings, ring)
 		}
 	}
@@ -486,6 +490,8 @@ func (r *Runtime) deliverRemote(p *poller, pkt *datapath.Packet, channel uint32,
 }
 
 // handleControl applies a SUB/UNSUB message from a peer.
+//
+//insane:coldpath control-plane SUB/UNSUB handling, off the data path
 func (r *Runtime) handleControl(h header, src netstack.IPv4) {
 	peer, ok := r.subs.peerByIP(src)
 	if !ok {
@@ -506,6 +512,8 @@ func (r *Runtime) handleControl(h header, src netstack.IPv4) {
 }
 
 // errPeerUnreachable builds a send error for a peer with no usable plane.
+//
+//insane:coldpath error construction for a peer that lost all planes
 func errPeerUnreachable(name string) error {
 	return &peerUnreachableError{name: name}
 }

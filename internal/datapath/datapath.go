@@ -144,8 +144,14 @@ type Endpoint interface {
 	Tech() model.Tech
 	// Send transmits a burst of packets to dst. It returns the number of
 	// packets accepted; the caller retains ownership of rejected ones.
+	// Plugins are trusted hot-path boundaries: each implementation is
+	// vetted (or deliberately exempt) where it is defined.
+	//
+	//insane:hotpath
 	Send(pkts []*Packet, dst netstack.Endpoint) (int, error)
 	// Poll receives up to max packets without blocking.
+	//
+	//insane:hotpath
 	Poll(max int) ([]*Packet, error)
 	// WaitRecv blocks until at least one packet is available or the
 	// timeout elapses; busy-polling technologies return immediately.

@@ -16,6 +16,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // Analyzer describes one static-analysis rule: how to run it and what
@@ -34,7 +35,21 @@ type Analyzer struct {
 	// ignored by the insanevet driver (upstream uses it for
 	// inter-analyzer facts); returning (nil, nil) is the norm.
 	Run func(*Pass) (interface{}, error)
+
+	// FactTypes lists the Fact types the analyzer exports and imports,
+	// one zero value per type (upstream uses these to register gob
+	// codecs). A non-empty list marks the analyzer as whole-program:
+	// the driver runs it over the full in-module dependency closure of
+	// the requested packages, dependencies first, with a shared
+	// FactStore bound to every pass.
+	FactTypes []Fact
 }
+
+// A Fact is a piece of information an analyzer attaches to a
+// package-level object in one pass and retrieves in the passes of
+// dependent packages. Facts must be pointer types and implement the
+// marker method AFact, exactly as upstream requires.
+type Fact interface{ AFact() }
 
 // Pass provides one analyzer run with the type-checked syntax of a
 // single package and a sink for diagnostics.
@@ -57,11 +72,64 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver attaches suppression
 	// and output handling here; analyzers should use Reportf.
 	Report func(Diagnostic)
+
+	// ExportObjectFact associates a fact with a package-level object so
+	// passes over dependent packages can retrieve it. Bound by the
+	// driver (see FactStore.Bind); nil for analyzers without FactTypes.
+	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// ImportObjectFact copies the fact of fact's type previously
+	// exported for obj into *fact and reports whether one was found.
+	// Bound by the driver; nil for analyzers without FactTypes.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FactStore holds the object facts of one whole-program analysis run.
+// The insanevet drivers are single-process, so unlike upstream (which
+// serializes facts with gob between compilations) the store is a plain
+// in-memory map shared by every pass of one lint.Run invocation.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+type factKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+// Bind wires the pass's ExportObjectFact/ImportObjectFact to the store.
+func (s *FactStore) Bind(p *Pass) {
+	p.ExportObjectFact = func(obj types.Object, fact Fact) {
+		if obj == nil {
+			panic("analysis: ExportObjectFact(nil, fact)")
+		}
+		t := reflect.TypeOf(fact)
+		if t.Kind() != reflect.Ptr {
+			panic(fmt.Sprintf("analysis: fact %T is not a pointer", fact))
+		}
+		s.m[factKey{obj, t}] = fact
+	}
+	p.ImportObjectFact = func(obj types.Object, fact Fact) bool {
+		if obj == nil {
+			return false
+		}
+		got, ok := s.m[factKey{obj, reflect.TypeOf(fact)}]
+		if !ok {
+			return false
+		}
+		reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+		return true
+	}
 }
 
 // Diagnostic is one finding of an analyzer.

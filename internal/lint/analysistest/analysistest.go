@@ -17,6 +17,7 @@
 package analysistest
 
 import (
+	"fmt"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -32,6 +33,12 @@ var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
 
 // Run applies the analyzer to each package under testdata/src and
 // reports mismatches through t.
+//
+// For a whole-program analyzer (non-empty FactTypes) each named
+// package is analyzed together with its in-tree dependency closure,
+// dependencies first, sharing one fact store — and `// want`
+// expectations are honored in the dependency files too, so fixtures
+// can assert on diagnostics whose call chain crosses packages.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	src := filepath.Join(testdata, "src")
@@ -41,8 +48,47 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		check(t, pkg, a)
+		if len(a.FactTypes) == 0 {
+			check(t, []*loader.Package{pkg}, a, nil)
+			continue
+		}
+		closure, err := dependencyClosure(ldr, pkg)
+		if err != nil {
+			t.Fatalf("closure of %s: %v", path, err)
+		}
+		check(t, closure, a, analysis.NewFactStore())
 	}
+}
+
+// dependencyClosure returns pkg plus its in-tree imports, sorted
+// dependencies-first.
+func dependencyClosure(ldr *loader.Loader, pkg *loader.Package) ([]*loader.Package, error) {
+	var order []*loader.Package
+	state := make(map[string]int)
+	var topo func(p *loader.Package) error
+	topo = func(p *loader.Package) error {
+		switch state[p.Path] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.Path)
+		case 2:
+			return nil
+		}
+		state[p.Path] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := ldr.ByPath(imp.Path()); ok {
+				if err := topo(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.Path] = 2
+		order = append(order, p)
+		return nil
+	}
+	if err := topo(pkg); err != nil {
+		return nil, err
+	}
+	return order, nil
 }
 
 // expectation is one `// want` pattern awaiting a diagnostic.
@@ -54,32 +100,43 @@ type expectation struct {
 	matched bool
 }
 
-func check(t *testing.T, pkg *loader.Package, a *analysis.Analyzer) {
+// check runs the analyzer over the packages (dependencies first for
+// whole-program analyzers) and matches diagnostics against the `want`
+// expectations collected from every file involved.
+func check(t *testing.T, pkgs []*loader.Package, a *analysis.Analyzer, store *analysis.FactStore) {
 	t.Helper()
-	expects := collectWants(t, pkg)
-	idx := directive.NewIndex(pkg.Fset, pkg.Files)
-
+	var expects []*expectation
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-		Report: func(d analysis.Diagnostic) {
-			pos := pkg.Fset.Position(d.Pos)
-			if idx.Suppresses(pos, a.Name) {
-				return
-			}
-			diags = append(diags, d)
-		},
+	var fset = pkgs[0].Fset
+	for _, pkg := range pkgs {
+		expects = append(expects, collectWants(t, pkg)...)
 	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+	for _, pkg := range pkgs {
+		idx := directive.NewIndex(pkg.Fset, pkg.Files)
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if idx.Suppresses(pos, a.Name) {
+					return
+				}
+				diags = append(diags, d)
+			},
+		}
+		if store != nil {
+			store.Bind(pass)
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
 	}
 
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		matched := false
 		for _, e := range expects {
 			if e.file == pos.Filename && e.line == pos.Line && !e.matched && e.re.MatchString(d.Message) {

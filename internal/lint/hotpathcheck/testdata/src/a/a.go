@@ -1,0 +1,263 @@
+// Package a exercises every hotpathcheck diagnostic class inside one
+// package: allocation ops, blocking ops, unknown calls, the allow=block
+// root mode, //lint:ignore suppression, //insane:coldpath barriers and
+// trusted interface methods.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// item carries an interface field to force boxing at literal sites.
+type item struct {
+	val any
+}
+
+// point has no interface fields: taking its literal's address is a pure
+// escape.
+type point struct {
+	x, y int
+}
+
+// ---- allocating operations ------------------------------------------
+
+//insane:hotpath
+func sliceLit() {
+	_ = []int{1, 2, 3} // want `slice literal \[\]int\{…\} allocates \[alloc\] in hot-path root sliceLit`
+}
+
+//insane:hotpath
+func mapLit() {
+	_ = map[string]int{} // want `map literal map\[string\]int\{\} allocates \[alloc\]`
+}
+
+//insane:hotpath
+func escapes() *point {
+	return &point{x: 1} // want `composite literal &point\{…\} escapes to the heap \[alloc\]`
+}
+
+//insane:hotpath
+func makes() []byte {
+	return make([]byte, 64) // want `make\(\[\]byte, 64\) allocates \[alloc\]`
+}
+
+//insane:hotpath
+func news() *point {
+	return new(point) // want `new\(point\) allocates \[alloc\]`
+}
+
+//insane:hotpath
+func boxReturn(x int) any {
+	return x // want `return value x is boxed into interface`
+}
+
+//insane:hotpath
+func boxConvert(x int) {
+	_ = any(x) // want `conversion any\(x\) boxes into an interface`
+}
+
+//insane:hotpath
+func boxAssign(x int) {
+	var v any
+	v = x // want `x is boxed into interface`
+	_ = v
+}
+
+//insane:hotpath
+func boxDecl(x int) {
+	var v any = x // want `x is boxed into interface`
+	_ = v
+}
+
+//insane:hotpath
+func boxField(x int) item {
+	return item{val: x} // want `x is boxed into interface field`
+}
+
+//insane:hotpath
+func stringCopy(bs []byte) string {
+	return string(bs) // want `conversion string\(bs\) copies to a new string`
+}
+
+//insane:hotpath
+func bytesCopy(s string) []byte {
+	return []byte(s) // want `conversion \[\]byte\(s\) copies to a new slice`
+}
+
+//insane:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation a \+ b allocates`
+}
+
+//insane:hotpath
+func concatAssign(a, b string) string {
+	a += b // want `string concatenation a \+= ... allocates`
+	return a
+}
+
+//insane:hotpath
+func mapWrite(m map[string]int) {
+	m["k"] = 1 // want `map assignment m\["k"\] can allocate`
+}
+
+//insane:hotpath
+func grows(xs []int, x int) []int {
+	return append(xs, x) // want `append\(xs, x\) without capacity evidence can grow the backing array`
+}
+
+// growsChecked reads cap() before appending: the capacity evidence
+// makes the append acceptable (the batch-drain idiom).
+//
+//insane:hotpath
+func growsChecked(xs []int, x int) []int {
+	if len(xs) < cap(xs) {
+		xs = append(xs, x)
+	}
+	return xs
+}
+
+//insane:hotpath
+func closes() func() int {
+	n := 0
+	return func() int { return n } // want `func literal captures n by reference and allocates a closure`
+}
+
+// staticLit captures nothing: a capture-free literal is a static
+// function value and stays clean.
+//
+//insane:hotpath
+func staticLit() func() int {
+	return func() int { return 42 }
+}
+
+//insane:hotpath
+func deferLoop(mu *sync.Mutex) {
+	for i := 0; i < 3; i++ {
+		mu.Lock()         // want `call to \(\*sync.Mutex\).Lock blocks \[block\]`
+		defer mu.Unlock() // want `defer inside a loop allocates per iteration`
+	}
+}
+
+//insane:hotpath
+func spawns() {
+	go helper() // want `go statement spawns a goroutine`
+}
+
+func helper() {}
+
+//insane:hotpath
+func formats(x int) {
+	fmt.Println(x) // want `call to fmt.Println allocates \(fmt/reflection\)`
+}
+
+//insane:hotpath
+func timers() {
+	_ = time.NewTimer(time.Second) // want `call to time.NewTimer allocates`
+}
+
+// ---- blocking operations --------------------------------------------
+
+//insane:hotpath
+func sends(ch chan int) {
+	ch <- 1 // want `channel send to ch can block`
+}
+
+//insane:hotpath
+func recvs(ch chan int) int {
+	return <-ch // want `channel receive <-ch can block`
+}
+
+//insane:hotpath
+func selNoDefault(a, b chan int) {
+	select { // want `select without default can block`
+	case <-a:
+	case <-b:
+	}
+}
+
+// selDefault never blocks: its communication ops are accounted to the
+// select, and the default clause proves it completes immediately.
+//
+//insane:hotpath
+func selDefault(ch chan int) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+//insane:hotpath
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `call to time.Sleep blocks`
+}
+
+// blockingConsume may block (allow=block) but must still not allocate:
+// the receive passes, the slice literal does not.
+//
+//insane:hotpath allow=block
+func blockingConsume(ch chan int) []int {
+	v := <-ch
+	return []int{v} // want `slice literal \[\]int\{…\} allocates \[alloc\] in hot-path root blockingConsume`
+}
+
+// ---- unknown calls ---------------------------------------------------
+
+//insane:hotpath
+func dynamic(f func()) {
+	f() // want `dynamic call f\(\) cannot be proven allocation-free`
+}
+
+//insane:hotpath
+func sorts(xs []int) {
+	sort.Ints(xs) // want `call to sort.Ints is outside the hot-path allowlist`
+}
+
+// Plugin mimics a datapath plugin boundary: Fast is a trusted hot-path
+// method, Slow is not annotated.
+type Plugin interface {
+	//insane:hotpath
+	Fast() int
+	Slow() int
+}
+
+//insane:hotpath
+func callsTrusted(p Plugin) int {
+	return p.Fast()
+}
+
+//insane:hotpath
+func callsUnknown(p Plugin) int {
+	return p.Slow() // want `call through unannotated interface method Slow cannot be proven allocation-free`
+}
+
+// ---- suppression and cold barriers -----------------------------------
+
+//insane:hotpath
+func suppressed() *item {
+	//lint:ignore insanevet/hotpathcheck documented cold init path
+	return &item{}
+}
+
+//insane:hotpath
+func usesCold() {
+	coldInit()
+}
+
+// coldInit is control-plane setup: the barrier stops traversal, so its
+// allocation is never reported.
+//
+//insane:coldpath one-time initialization, not reachable in steady state
+func coldInit() {
+	_ = make([]int, 8)
+}
+
+// unreachable is not annotated and not called from any root: its
+// violations are summarized but never reported.
+func unreachable() []int {
+	return make([]int, 1)
+}

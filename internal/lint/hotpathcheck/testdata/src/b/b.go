@@ -1,0 +1,13 @@
+// Package b exercises the cross-package fact traversal: the hot-path
+// root lives here, the violation in the dependency package, and the
+// diagnostic carries the full call chain.
+package b
+
+import "b/dep"
+
+// Root is a hot-path entry point whose call chain crosses into dep.
+//
+//insane:hotpath
+func Root() []byte {
+	return dep.Helper()
+}

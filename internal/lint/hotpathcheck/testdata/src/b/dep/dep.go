@@ -1,0 +1,9 @@
+// Package dep holds the callee side of the cross-package fixture. It
+// declares no roots of its own: the diagnostic below is reported while
+// analyzing package b, through dep's exported function summary.
+package dep
+
+// Helper allocates on behalf of package b's hot root.
+func Helper() []byte {
+	return make([]byte, 64) // want `make\(\[\]byte, 64\) allocates \[alloc\] reachable from hot-path root Root: Root -> b/dep\.Helper`
+}

@@ -1,0 +1,15 @@
+// Package baddirective carries malformed hot-path directives; the unit
+// test asserts the analyzer reports both (the diagnostics land on the
+// directive comment itself, where analysistest want comments cannot
+// sit).
+package baddirective
+
+// badOption carries an unrecognized hotpath option.
+//
+//insane:hotpath allow=spin
+func badOption() {}
+
+// missingReason omits the mandatory coldpath reason.
+//
+//insane:coldpath
+func missingReason() {}

@@ -5,13 +5,22 @@
 // The suite enforces the conventions the compiler cannot check but the
 // INSANE runtime depends on (see README, "Static analysis"):
 //
-//	bufownership — no touching zero-copy buffers after Emit/Abort, no
-//	               Message use after Release (§5.1 slot pools)
-//	lockorder    — mu→schedMu acquisition order, locks never escape
-//	               their function (§5.3 polling threads)
-//	atomicfield  — no copies of atomic fields, no mixed plain/atomic
-//	               access to counters
-//	timebase     — datapath packages read time via internal/timebase
+//	bufownership    — no touching zero-copy buffers after Emit/Abort, no
+//	                  Message use after Release (§5.1 slot pools)
+//	lockorder       — mu→schedMu acquisition order, locks never escape
+//	                  their function (§5.3 polling threads)
+//	atomicfield     — no copies of atomic fields, no mixed plain/atomic
+//	                  access to counters
+//	timebase        — datapath packages read time via internal/timebase
+//	hotpathcheck    — code reachable from //insane:hotpath roots is
+//	                  allocation- and blocking-free (§7 zero-alloc proof)
+//	sentinelcompare — errors wrapped with %w are matched with errors.Is
+//
+// Analyzers that declare FactTypes are whole-program: Run applies them
+// over the full in-module dependency closure of the requested
+// packages, dependencies first, with a shared analysis.FactStore, so
+// per-function summaries computed for internal/ringbuf are available
+// when internal/core is analyzed.
 package lint
 
 import (
@@ -23,8 +32,10 @@ import (
 	"github.com/insane-mw/insane/internal/lint/atomicfield"
 	"github.com/insane-mw/insane/internal/lint/bufownership"
 	"github.com/insane-mw/insane/internal/lint/directive"
+	"github.com/insane-mw/insane/internal/lint/hotpathcheck"
 	"github.com/insane-mw/insane/internal/lint/loader"
 	"github.com/insane-mw/insane/internal/lint/lockorder"
+	"github.com/insane-mw/insane/internal/lint/sentinelcompare"
 	"github.com/insane-mw/insane/internal/lint/timebasecheck"
 )
 
@@ -35,6 +46,8 @@ func Analyzers() []*analysis.Analyzer {
 		lockorder.Analyzer,
 		atomicfield.Analyzer,
 		timebasecheck.Analyzer,
+		hotpathcheck.Analyzer,
+		sentinelcompare.Analyzer,
 	}
 }
 
@@ -56,38 +69,86 @@ func (f Finding) String() string {
 
 // Run applies the analyzers to every package and returns the findings
 // that survive suppression, sorted by position.
-func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+//
+// The loader must be the one that loaded pkgs: whole-program analyzers
+// (non-empty FactTypes) reach the in-module dependency closure through
+// it. It may be nil when no analyzer declares facts.
+func Run(ldr *loader.Loader, pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var plain, whole []*analysis.Analyzer
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			whole = append(whole, a)
+		} else {
+			plain = append(plain, a)
+		}
+	}
+
 	var out []Finding
+	indexes := make(map[*loader.Package]*directive.Index)
+	index := func(pkg *loader.Package) *directive.Index {
+		idx := indexes[pkg]
+		if idx == nil {
+			idx = directive.NewIndex(pkg.Fset, pkg.Files)
+			indexes[pkg] = idx
+		}
+		return idx
+	}
+	runOne := func(pkg *loader.Package, a *analysis.Analyzer, store *analysis.FactStore) error {
+		idx := index(pkg)
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if store != nil {
+			store.Bind(pass)
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if idx.Suppresses(pos, name) {
+				return
+			}
+			out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		return nil
+	}
+
 	for _, pkg := range pkgs {
-		idx := directive.NewIndex(pkg.Fset, pkg.Files)
-		for _, ig := range idx.Malformed() {
+		for _, ig := range index(pkg).Malformed() {
 			out = append(out, Finding{
 				Analyzer: "directive",
 				Pos:      pkg.Fset.Position(ig.Pos),
 				Message:  "malformed //lint:ignore directive: " + ig.Malformed,
 			})
 		}
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-			}
-			name := a.Name
-			pass.Report = func(d analysis.Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				if idx.Suppresses(pos, name) {
-					return
-				}
-				out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
-			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		for _, a := range plain {
+			if err := runOne(pkg, a, nil); err != nil {
+				return nil, err
 			}
 		}
 	}
+
+	if len(whole) > 0 {
+		closure, err := dependencyClosure(ldr, pkgs)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range whole {
+			store := analysis.NewFactStore()
+			for _, pkg := range closure {
+				if err := runOne(pkg, a, store); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -99,4 +160,63 @@ func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, err
 		return a.Message < b.Message
 	})
 	return out, nil
+}
+
+// dependencyClosure expands pkgs with their in-module imports (loaded
+// through ldr while type-checking) and returns the closure sorted
+// dependencies-first.
+func dependencyClosure(ldr *loader.Loader, pkgs []*loader.Package) ([]*loader.Package, error) {
+	if ldr == nil {
+		return nil, fmt.Errorf("lint: a whole-program analyzer requires a loader")
+	}
+	byPath := make(map[string]*loader.Package)
+	var visit func(pkg *loader.Package)
+	visit = func(pkg *loader.Package) {
+		if byPath[pkg.Path] != nil {
+			return
+		}
+		byPath[pkg.Path] = pkg
+		for _, imp := range pkg.Types.Imports() {
+			if dep, ok := ldr.ByPath(imp.Path()); ok {
+				visit(dep)
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		visit(pkg)
+	}
+
+	// Topological order via depth-first post-order over imports.
+	var order []*loader.Package
+	state := make(map[string]int) // 0 unvisited, 1 in progress, 2 done
+	var topo func(pkg *loader.Package) error
+	topo = func(pkg *loader.Package) error {
+		switch state[pkg.Path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", pkg.Path)
+		case 2:
+			return nil
+		}
+		state[pkg.Path] = 1
+		for _, imp := range pkg.Types.Imports() {
+			if dep := byPath[imp.Path()]; dep != nil {
+				if err := topo(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[pkg.Path] = 2
+		order = append(order, pkg)
+		return nil
+	}
+	// Stable iteration: requested packages arrive sorted from the
+	// loader; closure members are reached deterministically from them.
+	for _, pkg := range pkgs {
+		if err := topo(pkg); err != nil {
+			return nil, err
+		}
+	}
+	// Closure members not reachable via topo from pkgs cannot exist
+	// (visit and topo walk the same edges), so order is complete.
+	return order, nil
 }

@@ -111,7 +111,78 @@ func modulePath(gomod []byte) string {
 // Load resolves the given patterns to packages and type-checks them.
 // Supported patterns: "./..." (whole module), "./dir/..." (subtree) and
 // "./dir" (one package); a bare module-internal import path also works.
+// The first package that fails to parse or type-check aborts the load.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.resolve(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		if !hasGoFiles(dir) {
+			continue
+		}
+		pkg, err := l.LoadDir(dir, l.pathFor(dir))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadError records one package that could not be loaded during a
+// lenient LoadAll.
+type LoadError struct {
+	// Path is the import path of the broken package.
+	Path string
+	// Err is the parse or type-check failure.
+	Err error
+}
+
+func (e LoadError) Error() string { return e.Path + ": " + e.Err.Error() }
+
+// LoadAll is Load with per-package error recovery: packages that fail
+// to parse or type-check are skipped and reported in the second return
+// value instead of aborting the whole load. Pattern-resolution errors
+// (no such directory, unreadable tree) still fail hard, since they mean
+// the caller asked for something that does not exist.
+func (l *Loader) LoadAll(patterns ...string) ([]*Package, []LoadError, error) {
+	dirs, err := l.resolve(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []*Package
+	var failed []LoadError
+	for _, dir := range dirs {
+		if !hasGoFiles(dir) {
+			continue
+		}
+		path := l.pathFor(dir)
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			failed = append(failed, LoadError{Path: path, Err: err})
+			continue
+		}
+		out = append(out, pkg)
+	}
+	return out, failed, nil
+}
+
+// ByPath returns the already-loaded package registered under the given
+// import path, if any. Dependencies pulled in while type-checking a
+// requested package are registered too, so after a Load the whole
+// in-module import closure is reachable through ByPath.
+func (l *Loader) ByPath(path string) (*Package, bool) {
+	e, ok := l.pkgs[path]
+	if !ok || e.loading || e.err != nil || e.pkg == nil {
+		return nil, false
+	}
+	return e.pkg, true
+}
+
+// resolve maps patterns to the sorted list of candidate directories.
+func (l *Loader) resolve(patterns []string) ([]string, error) {
 	var dirs []string
 	seen := make(map[string]bool)
 	add := func(dir string) {
@@ -140,18 +211,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 	}
 	sort.Strings(dirs)
-	var out []*Package
-	for _, dir := range dirs {
-		if !hasGoFiles(dir) {
-			continue
-		}
-		pkg, err := l.LoadDir(dir, l.pathFor(dir))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pkg)
-	}
-	return out, nil
+	return dirs, nil
 }
 
 // dirFor maps a pattern element to a directory.

@@ -5,10 +5,12 @@
 package multichecker
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/insane-mw/insane/internal/lint"
 	"github.com/insane-mw/insane/internal/lint/analysis"
@@ -17,9 +19,19 @@ import (
 
 // Main loads the packages named by the command-line patterns, applies
 // the analyzers and exits: 0 when the tree is clean, 1 when findings
-// were reported, 2 on a load or usage error.
+// were reported, 2 on a load or usage error (including packages that
+// had to be skipped because they failed to parse or type-check).
 func Main(analyzers ...*analysis.Analyzer) {
 	os.Exit(Run(os.Args[1:], os.Stdout, os.Stderr, analyzers...))
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
 }
 
 // Run is Main without the process exit, for tests: it returns the exit
@@ -29,17 +41,39 @@ func Run(args []string, out, errw io.Writer, analyzers ...*analysis.Analyzer) in
 	fs.SetOutput(errw)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("C", ".", "directory of the module to analyze")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array (for CI annotation)")
+	runOnly := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintf(errw, "usage: insanevet [-list] [-C dir] [packages]\n\n")
-		fmt.Fprintf(errw, "insanevet checks the INSANE tree for violations of the runtime's\nzero-copy ownership, locking, atomicity and timebase conventions.\nPatterns default to ./...; suppress a finding with\n\t//lint:ignore insanevet/<rule> <reason>\n\n")
+		fmt.Fprintf(errw, "usage: insanevet [-list] [-json] [-run names] [-C dir] [packages]\n\n")
+		fmt.Fprintf(errw, "insanevet checks the INSANE tree for violations of the runtime's\nzero-copy ownership, locking, atomicity, timebase and hot-path\nconventions. Patterns default to ./...; suppress a finding with\n\t//lint:ignore insanevet/<rule> <reason>\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *runOnly != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*runOnly, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				kept = append(kept, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			for name := range want {
+				fmt.Fprintf(errw, "insanevet: no analyzer named %q (see -list)\n", name)
+			}
+			return 2
+		}
+		analyzers = kept
+	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -52,18 +86,46 @@ func Run(args []string, out, errw io.Writer, analyzers ...*analysis.Analyzer) in
 		fmt.Fprintln(errw, "insanevet:", err)
 		return 2
 	}
-	pkgs, err := ldr.Load(patterns...)
+	pkgs, skipped, err := ldr.LoadAll(patterns...)
 	if err != nil {
 		fmt.Fprintln(errw, "insanevet:", err)
 		return 2
 	}
-	findings, err := lint.Run(pkgs, analyzers)
+	findings, err := lint.Run(ldr, pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(errw, "insanevet:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(out, f)
+	if *asJSON {
+		enc := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			enc = append(enc, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		data, err := json.MarshalIndent(enc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(errw, "insanevet:", err)
+			return 2
+		}
+		fmt.Fprintln(out, string(data))
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+	}
+	// A package that failed to load was not analyzed: say so loudly
+	// and fail, since a silent skip would let violations through.
+	if len(skipped) > 0 {
+		fmt.Fprintf(errw, "insanevet: %d package(s) skipped (failed to load):\n", len(skipped))
+		for _, s := range skipped {
+			fmt.Fprintf(errw, "\t%s: %v\n", s.Path, s.Err)
+		}
+		return 2
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(errw, "insanevet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))

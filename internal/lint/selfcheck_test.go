@@ -1,16 +1,20 @@
 package lint_test
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/insane-mw/insane/internal/lint"
+	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/hotpathcheck"
 	"github.com/insane-mw/insane/internal/lint/loader"
 )
 
 // TestRepositoryIsClean runs the full insanevet suite over the whole
 // module, exactly as `make lint` does: the tree must stay free of
-// ownership, lock-order, atomicity and timebase violations (or carry
-// explicit //lint:ignore directives).
+// ownership, lock-order, atomicity, timebase, hot-path and
+// sentinel-comparison violations (or carry explicit //lint:ignore
+// directives).
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the entire module")
@@ -26,11 +30,54 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) < 30 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	findings, err := lint.Run(pkgs, lint.Analyzers())
+	findings, err := lint.Run(ldr, pkgs, lint.Analyzers())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestHotPathIsProven runs hotpathcheck alone over the module and
+// additionally asserts that the //insane:hotpath annotation set has
+// not silently shrunk: the zero-alloc proof is only as strong as its
+// roots (Emit admission, scheduler push/pop, the poller loop, Consume,
+// mempool and ringbuf ops, telemetry records).
+func TestHotPathIsProven(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	ldr, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ldr.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run(ldr, pkgs, []*analysis.Analyzer{hotpathcheck.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+
+	roots := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					if text == "//insane:hotpath" || strings.HasPrefix(text, "//insane:hotpath ") {
+						roots++
+					}
+				}
+			}
+		}
+	}
+	if roots < 20 {
+		t.Errorf("only %d //insane:hotpath annotations in the tree; the proof's root set has shrunk (want >= 20)", roots)
 	}
 }

@@ -1,0 +1,155 @@
+// Package sentinelcompare flags `==` / `!=` comparisons against Err*
+// sentinel values on errors that were wrapped with fmt.Errorf("%w")
+// in the same function.
+//
+// The insane package translates internal errors to its public
+// sentinels *by value* at every API boundary (PR 3), so user code may
+// legitimately compare `err == insane.ErrClosed` on values returned by
+// the API. But the moment a function wraps an error itself —
+//
+//	err := fmt.Errorf("stream %d: %w", id, insane.ErrClosed)
+//	if err == insane.ErrClosed { ... }   // never true
+//
+// — identity comparison silently stops matching, and only errors.Is
+// unwraps the chain. This analyzer catches exactly that: a comparison
+// against an Err*-named sentinel on a value that was produced by a
+// %w-wrapping fmt.Errorf call earlier in the same function.
+package sentinelcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/insane-mw/insane/internal/lint/analysis"
+)
+
+// Analyzer is the sentinelcompare rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelcompare",
+	Doc:  "errors wrapped with fmt.Errorf(\"%w\", ...) must be matched with errors.Is, not ==",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc walks one body in source order, tracking which variables
+// currently hold a %w-wrapped error.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	wrapped := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := objOf(pass, id).(*types.Var)
+				if !ok {
+					continue
+				}
+				if isWrapCall(pass, n.Rhs[i]) {
+					wrapped[v] = true
+				} else {
+					// Reassignment from anything else clears the mark.
+					delete(wrapped, v)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if v, sentinel := matchCompare(pass, wrapped, n.X, n.Y); v != nil {
+				pass.Reportf(n.Pos(), "%s was wrapped with fmt.Errorf(\"%%w\", ...); %s %s never matches — use errors.Is(%s, %s)",
+					v.Name(), n.Op, sentinel, v.Name(), sentinel)
+			} else if v, sentinel := matchCompare(pass, wrapped, n.Y, n.X); v != nil {
+				pass.Reportf(n.Pos(), "%s was wrapped with fmt.Errorf(\"%%w\", ...); %s %s never matches — use errors.Is(%s, %s)",
+					v.Name(), n.Op, sentinel, v.Name(), sentinel)
+			}
+		}
+		return true
+	})
+}
+
+// matchCompare reports whether lhs is a tracked wrapped-error variable
+// and rhs an Err* sentinel; it returns the variable and the sentinel's
+// rendering.
+func matchCompare(pass *analysis.Pass, wrapped map[*types.Var]bool, lhs, rhs ast.Expr) (*types.Var, string) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	v, ok := objOf(pass, id).(*types.Var)
+	if !ok || !wrapped[v] {
+		return nil, ""
+	}
+	if !isSentinel(pass, rhs) {
+		return nil, ""
+	}
+	return v, types.ExprString(rhs)
+}
+
+// isSentinel reports whether e names a package-level Err* variable.
+func isSentinel(pass *analysis.Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	v, ok := objOf(pass, id).(*types.Var)
+	if !ok || !strings.HasPrefix(v.Name(), "Err") {
+		return false
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isWrapCall reports whether e is fmt.Errorf with a %w verb in its
+// (constant) format string.
+func isWrapCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	return err == nil && strings.Contains(format, "%w")
+}
+
+// objOf resolves an identifier's object through Uses or Defs.
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

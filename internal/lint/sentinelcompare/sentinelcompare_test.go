@@ -1,0 +1,12 @@
+package sentinelcompare_test
+
+import (
+	"testing"
+
+	"github.com/insane-mw/insane/internal/lint/analysistest"
+	"github.com/insane-mw/insane/internal/lint/sentinelcompare"
+)
+
+func TestSentinelCompare(t *testing.T) {
+	analysistest.Run(t, "testdata", sentinelcompare.Analyzer, "a")
+}

@@ -1,0 +1,54 @@
+// Package a exercises sentinelcompare: identity comparisons against
+// Err* sentinels on values the function wrapped with %w.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels, Err*-named as the rule requires.
+var (
+	ErrNotFound = errors.New("not found")
+	ErrBusy     = errors.New("busy")
+)
+
+// wrapThenCompare is the motivating bug: once wrapped, identity
+// comparison never matches.
+func wrapThenCompare(id int) bool {
+	err := fmt.Errorf("lookup %d: %w", id, ErrNotFound)
+	return err == ErrNotFound // want `err was wrapped with fmt.Errorf\("%w", ...\); == ErrNotFound never matches — use errors.Is\(err, ErrNotFound\)`
+}
+
+// reversedOperands puts the sentinel on the left; the rule matches both
+// orders and the != operator.
+func reversedOperands() bool {
+	err := fmt.Errorf("busy: %w", ErrBusy)
+	return ErrBusy != err // want `err was wrapped with fmt.Errorf\("%w", ...\); != ErrBusy never matches — use errors.Is\(err, ErrBusy\)`
+}
+
+// reassignedClears: overwriting the variable with a non-wrapping value
+// clears the mark, so the later comparison is legitimate.
+func reassignedClears() bool {
+	err := fmt.Errorf("wrap: %w", ErrNotFound)
+	err = errors.New("fresh")
+	return err == ErrNotFound
+}
+
+// noWrapVerb: fmt.Errorf without %w does not wrap, so == still works on
+// whatever it returns (it just never equals the sentinel; not our bug).
+func noWrapVerb() bool {
+	err := fmt.Errorf("plain: %v", ErrNotFound)
+	return err == ErrNotFound
+}
+
+// usesErrorsIs is the fix the diagnostic recommends.
+func usesErrorsIs(id int) bool {
+	err := fmt.Errorf("lookup %d: %w", id, ErrNotFound)
+	return errors.Is(err, ErrNotFound)
+}
+
+// neverWrapped compares a plain error; untracked, so clean.
+func neverWrapped(err error) bool {
+	return err == ErrBusy
+}

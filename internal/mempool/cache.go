@@ -80,6 +80,8 @@ type Cache[T any] struct {
 // Get returns a recycled object, preferring the private list, then the
 // shared ring, then a fresh construction. The caller owns the result
 // until Put.
+//
+//insane:hotpath
 func (c *Cache[T]) Get() T {
 	if n := len(c.local); n > 0 {
 		v := c.local[n-1]
@@ -94,12 +96,15 @@ func (c *Cache[T]) Get() T {
 		return v
 	}
 	c.misses.Add(1)
+	//lint:ignore insanevet/hotpathcheck cold-miss constructor; steady state hits the free lists
 	return c.pool.newT()
 }
 
 // Put recycles an object. Ownership passes back to the cache: the caller
 // must not use v afterwards (the same protocol the insanevet
 // bufownership rule enforces for Emit/Release).
+//
+//insane:hotpath
 func (c *Cache[T]) Put(v T) {
 	if len(c.local) < cap(c.local) {
 		c.local = append(c.local, v)

@@ -169,6 +169,8 @@ func NewManager(cfg Config) (*Manager, error) {
 // Get borrows a slot able to hold size bytes for the given owner.
 // The returned buffer aliases pool memory: it is valid until Release
 // (or the final Release when the reference count was raised).
+//
+//insane:hotpath
 func (m *Manager) Get(size int, owner Owner) (SlotID, []byte, error) {
 	for pi, p := range m.pools {
 		if size > p.slotSize {
@@ -187,18 +189,22 @@ func (m *Manager) Get(size int, owner Owner) (SlotID, []byte, error) {
 	}
 	m.fails.Add(1)
 	if len(m.pools) > 0 && size > m.pools[len(m.pools)-1].slotSize {
+		//lint:ignore insanevet/hotpathcheck cold error path, never taken steady-state
 		return NoSlot, nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
 	}
 	return NoSlot, nil, ErrExhausted
 }
 
 // Buf returns the full buffer of a borrowed slot.
+//
+//insane:hotpath
 func (m *Manager) Buf(id SlotID) ([]byte, error) {
 	p, idx, err := m.locate(id)
 	if err != nil {
 		return nil, err
 	}
 	if p.states[idx].refs.Load() <= 0 {
+		//lint:ignore insanevet/hotpathcheck cold error path, never taken steady-state
 		return nil, fmt.Errorf("%w: %v", ErrBadSlot, id)
 	}
 	return p.slotBuf(idx), nil
@@ -215,8 +221,11 @@ func (m *Manager) SlotSize(id SlotID) (int, error) {
 
 // AddRef raises the reference count of a borrowed slot by n (multi-sink
 // delivery takes one reference per sink before handing out the slot id).
+//
+//insane:hotpath
 func (m *Manager) AddRef(id SlotID, n int) error {
 	if n <= 0 {
+		//lint:ignore insanevet/hotpathcheck cold error path, never taken steady-state
 		return fmt.Errorf("mempool: AddRef count %d must be positive", n)
 	}
 	p, idx, err := m.locate(id)
@@ -227,6 +236,7 @@ func (m *Manager) AddRef(id SlotID, n int) error {
 	for {
 		cur := st.refs.Load()
 		if cur <= 0 {
+			//lint:ignore insanevet/hotpathcheck cold error path, never taken steady-state
 			return fmt.Errorf("%w: %v", ErrBadSlot, id)
 		}
 		if st.refs.CompareAndSwap(cur, cur+int32(n)) {
@@ -237,6 +247,8 @@ func (m *Manager) AddRef(id SlotID, n int) error {
 
 // Release drops one reference; when the count reaches zero the slot returns
 // to its pool's free ring.
+//
+//insane:hotpath
 func (m *Manager) Release(id SlotID) error {
 	p, idx, err := m.locate(id)
 	if err != nil {
@@ -246,6 +258,7 @@ func (m *Manager) Release(id SlotID) error {
 	n := st.refs.Add(-1)
 	if n < 0 {
 		st.refs.Add(1) // undo; report misuse
+		//lint:ignore insanevet/hotpathcheck cold error path, never taken steady-state
 		return fmt.Errorf("%w: double release of %v", ErrBadSlot, id)
 	}
 	if n == 0 {
@@ -254,7 +267,8 @@ func (m *Manager) Release(id SlotID) error {
 		m.releases.Add(1)
 		if !p.free.TryPush(uint32(idx)) {
 			// Cannot happen: ring capacity equals slot count.
-			return fmt.Errorf("mempool: free ring overflow for %v", id)
+			//lint:ignore insanevet/hotpathcheck cold error path, never taken steady-state
+				return fmt.Errorf("mempool: free ring overflow for %v", id)
 		}
 	}
 	return nil
@@ -334,10 +348,12 @@ func (m *Manager) Stats() Stats {
 func (m *Manager) locate(id SlotID) (*pool, int, error) {
 	pi, idx := id.pool(), id.index()
 	if pi < 0 || pi >= len(m.pools) {
+		//lint:ignore insanevet/hotpathcheck cold error path, never taken steady-state
 		return nil, 0, fmt.Errorf("%w: %v", ErrBadSlot, id)
 	}
 	p := m.pools[pi]
 	if idx >= len(p.states) {
+		//lint:ignore insanevet/hotpathcheck cold error path, never taken steady-state
 		return nil, 0, fmt.Errorf("%w: %v", ErrBadSlot, id)
 	}
 	return p, idx, nil

@@ -12,6 +12,7 @@ package netstack
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -69,11 +70,18 @@ func NewResolver() *Resolver { return &Resolver{table: make(map[IPv4]MAC)} }
 // Add records a static IP→MAC binding.
 func (r *Resolver) Add(ip IPv4, mac MAC) { r.table[ip] = mac }
 
+// ErrNoMACBinding is returned by Resolve for an address with no static
+// binding. A static sentinel: the datapath resolves per packet, and an
+// unroutable destination must not drive per-packet error formatting.
+var ErrNoMACBinding = errors.New("netstack: no MAC binding")
+
 // Resolve looks up the MAC for ip.
+//
+//insane:hotpath
 func (r *Resolver) Resolve(ip IPv4) (MAC, error) {
 	mac, ok := r.table[ip]
 	if !ok {
-		return MAC{}, fmt.Errorf("netstack: no MAC binding for %s", ip)
+		return MAC{}, ErrNoMACBinding
 	}
 	return mac, nil
 }

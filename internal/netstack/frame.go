@@ -3,7 +3,6 @@ package netstack
 import (
 	"encoding/binary"
 	"errors"
-	"fmt"
 )
 
 // Header sizes and totals for the UDP/IPv4/Ethernet encapsulation the
@@ -30,7 +29,10 @@ const (
 	defaultTTL    = 64
 )
 
-// Decode errors.
+// Encode/decode errors. All of them are static sentinels: EncodeUDP and
+// DecodeUDP run once per packet on the datapath, and a peer spraying
+// malformed or oversized traffic must not be able to drive per-packet
+// error formatting (hot-path rule; match with errors.Is).
 var (
 	ErrFrameTooShort   = errors.New("netstack: frame too short")
 	ErrNotIPv4         = errors.New("netstack: not an IPv4 frame")
@@ -38,6 +40,7 @@ var (
 	ErrBadChecksum     = errors.New("netstack: IPv4 header checksum mismatch")
 	ErrLengthMismatch  = errors.New("netstack: length fields disagree with frame size")
 	ErrPayloadTooLarge = errors.New("netstack: payload exceeds MTU")
+	ErrBufTooSmall     = errors.New("netstack: buffer too small for frame")
 )
 
 // FrameMeta carries the addressing of one UDP-over-Ethernet frame.
@@ -65,13 +68,15 @@ func FrameLen(n int) int { return HeadersLen + n }
 // length. The buffer must have room; this is guaranteed by the memory
 // manager's slot classes. The layout lets a zero-copy datapath reserve
 // header room in the same slot the application wrote into.
+//
+//insane:hotpath
 func EncodeUDP(buf []byte, meta FrameMeta, payloadLen int, mtu int) (int, error) {
 	if payloadLen < 0 || payloadLen > MaxPayload(mtu) {
-		return 0, fmt.Errorf("%w: %d > %d (mtu %d)", ErrPayloadTooLarge, payloadLen, MaxPayload(mtu), mtu)
+		return 0, ErrPayloadTooLarge
 	}
 	total := FrameLen(payloadLen)
 	if len(buf) < total {
-		return 0, fmt.Errorf("netstack: buffer %d too small for frame %d", len(buf), total)
+		return 0, ErrBufTooSmall
 	}
 
 	// Ethernet.
@@ -109,10 +114,12 @@ func EncodeUDP(buf []byte, meta FrameMeta, payloadLen int, mtu int) (int, error)
 
 // DecodeUDP validates a frame and returns its metadata and a payload view
 // aliasing frame's backing array (zero-copy).
+//
+//insane:hotpath
 func DecodeUDP(frame []byte) (FrameMeta, []byte, error) {
 	var meta FrameMeta
 	if len(frame) < HeadersLen {
-		return meta, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, len(frame))
+		return meta, nil, ErrFrameTooShort
 	}
 	if binary.BigEndian.Uint16(frame[12:14]) != etherTypeIPv4 {
 		return meta, nil, ErrNotIPv4
@@ -122,10 +129,10 @@ func DecodeUDP(frame []byte) (FrameMeta, []byte, error) {
 
 	ip := frame[EthHeaderLen:]
 	if ip[0] != 0x45 {
-		return meta, nil, fmt.Errorf("%w: version/IHL 0x%02x", ErrNotIPv4, ip[0])
+		return meta, nil, ErrNotIPv4
 	}
 	if ip[9] != protoUDP {
-		return meta, nil, fmt.Errorf("%w: protocol %d", ErrNotUDP, ip[9])
+		return meta, nil, ErrNotUDP
 	}
 	if internetChecksum(ip[:IPv4HeaderLen]) != 0 {
 		return meta, nil, ErrBadChecksum
@@ -133,7 +140,7 @@ func DecodeUDP(frame []byte) (FrameMeta, []byte, error) {
 	meta.TrafficClass = ip[1] >> 2
 	ipLen := int(binary.BigEndian.Uint16(ip[2:4]))
 	if EthHeaderLen+ipLen > len(frame) || ipLen < IPv4HeaderLen+UDPHeaderLen {
-		return meta, nil, fmt.Errorf("%w: ip len %d, frame %d", ErrLengthMismatch, ipLen, len(frame))
+		return meta, nil, ErrLengthMismatch
 	}
 	copy(meta.Src.IP[:], ip[12:16])
 	copy(meta.Dst.IP[:], ip[16:20])
@@ -143,7 +150,7 @@ func DecodeUDP(frame []byte) (FrameMeta, []byte, error) {
 	meta.Dst.Port = binary.BigEndian.Uint16(udp[2:4])
 	udpLen := int(binary.BigEndian.Uint16(udp[4:6]))
 	if udpLen != ipLen-IPv4HeaderLen {
-		return meta, nil, fmt.Errorf("%w: udp len %d, ip len %d", ErrLengthMismatch, udpLen, ipLen)
+		return meta, nil, ErrLengthMismatch
 	}
 	payload := frame[HeadersLen : EthHeaderLen+ipLen]
 	return meta, payload, nil

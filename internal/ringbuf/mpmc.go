@@ -49,6 +49,8 @@ func NewMPMC[T any](capacity int) (*MPMC[T], error) {
 }
 
 // TryPush appends v and reports whether there was room.
+//
+//insane:hotpath
 func (q *MPMC[T]) TryPush(v T) bool {
 	pos := q.tail.Load()
 	for {
@@ -74,6 +76,8 @@ func (q *MPMC[T]) TryPush(v T) bool {
 }
 
 // TryPop removes and returns the oldest element, if any.
+//
+//insane:hotpath
 func (q *MPMC[T]) TryPop() (T, bool) {
 	var zero T
 	pos := q.head.Load()
@@ -108,6 +112,8 @@ func (q *MPMC[T]) TryPop() (T, bool) {
 // SPSC PopBatch that the paper's opportunistic batching relies on
 // (§6.2). Elements are published in order; concurrent consumers may
 // start popping the front of the run before the tail is written.
+//
+//insane:hotpath
 func (q *MPMC[T]) PushBatch(src []T) int {
 	if len(src) == 0 {
 		return 0
@@ -152,6 +158,8 @@ func (q *MPMC[T]) PushBatch(src []T) int {
 // only then reads the values: once the CAS succeeds no other consumer
 // can touch those positions, and producers cannot reuse them until each
 // cell's seq is bumped to the next lap.
+//
+//insane:hotpath
 func (q *MPMC[T]) PopBatch(dst []T) int {
 	var zero T
 	if len(dst) == 0 {

@@ -51,6 +51,8 @@ func NewSPSC[T any](capacity int) (*SPSC[T], error) {
 }
 
 // TryPush appends v and reports whether there was room.
+//
+//insane:hotpath
 func (r *SPSC[T]) TryPush(v T) bool {
 	tail := r.tail.Load()
 	if tail-r.head.Load() >= uint64(len(r.buf)) {
@@ -62,6 +64,8 @@ func (r *SPSC[T]) TryPush(v T) bool {
 }
 
 // TryPop removes and returns the oldest element, if any.
+//
+//insane:hotpath
 func (r *SPSC[T]) TryPop() (T, bool) {
 	var zero T
 	head := r.head.Load()
@@ -77,6 +81,8 @@ func (r *SPSC[T]) TryPop() (T, bool) {
 // PopBatch pops up to len(dst) elements into dst and returns the count.
 // Batched draining is what lets the runtime's polling threads amortize
 // per-wakeup costs (the paper's opportunistic batching, §6.2).
+//
+//insane:hotpath
 func (r *SPSC[T]) PopBatch(dst []T) int {
 	var zero T
 	head := r.head.Load()

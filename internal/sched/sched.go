@@ -28,15 +28,19 @@ const NumClasses = 8
 type Scheduler interface {
 	// Enqueue accepts a packet for transmission at virtual time now
 	// (used to account gate waits; FIFO ignores it).
+	//insane:hotpath
 	Enqueue(p *datapath.Packet, now timebase.VTime)
 	// Dequeue fills dst with packets eligible for transmission at
 	// virtual time now and returns how many were written.
+	//insane:hotpath
 	Dequeue(dst []*datapath.Packet, now timebase.VTime) int
 	// Pending returns the number of queued packets.
+	//insane:hotpath
 	Pending() int
 	// NextEvent returns the next virtual time at which more packets may
 	// become eligible (gate opening), or zero when nothing is queued or
 	// everything queued is already eligible.
+	//insane:hotpath
 	NextEvent(now timebase.VTime) timebase.VTime
 }
 
@@ -51,9 +55,14 @@ var _ Scheduler = (*FIFO)(nil)
 func NewFIFO() *FIFO { return &FIFO{} }
 
 // Enqueue appends the packet.
+//
+//insane:hotpath
+//lint:ignore insanevet/hotpathcheck append growth is amortized; the queue reaches steady-state capacity
 func (f *FIFO) Enqueue(p *datapath.Packet, _ timebase.VTime) { f.q = append(f.q, p) }
 
 // Dequeue pops up to len(dst) packets in arrival order.
+//
+//insane:hotpath
 func (f *FIFO) Dequeue(dst []*datapath.Packet, _ timebase.VTime) int {
 	n := copy(dst, f.q)
 	remaining := copy(f.q, f.q[n:])
@@ -150,11 +159,14 @@ func NewTAS(gcl GCL) (*TAS, error) {
 
 // Enqueue files the packet under its traffic class, recording when it
 // arrived on the scheduler's clock.
+//
+//insane:hotpath
 func (t *TAS) Enqueue(p *datapath.Packet, now timebase.VTime) {
 	class := p.Class
 	if class >= NumClasses {
 		class = NumClasses - 1
 	}
+	//lint:ignore insanevet/hotpathcheck append growth is amortized; class queues reach steady-state capacity
 	t.queues[class] = append(t.queues[class], tasEntry{pkt: p, at: now})
 	t.count++
 }
@@ -175,6 +187,8 @@ func (t *TAS) gatesAt(now timebase.VTime) uint8 {
 // highest class first. A dequeued packet that had to wait for its gate
 // carries the wait (now minus its enqueue time, both on the scheduler's
 // clock) as added virtual latency.
+//
+//insane:hotpath
 func (t *TAS) Dequeue(dst []*datapath.Packet, now timebase.VTime) int {
 	if t.count == 0 || len(dst) == 0 {
 		return 0

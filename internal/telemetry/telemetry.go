@@ -142,12 +142,18 @@ type Shard struct {
 }
 
 // Inc adds 1 to a counter.
+//
+//insane:hotpath
 func (s *Shard) Inc(c CounterID) { s.counters[c].Add(1) }
 
 // Add adds n to a counter.
+//
+//insane:hotpath
 func (s *Shard) Add(c CounterID, n uint64) { s.counters[c].Add(n) }
 
 // Observe records one value into a histogram.
+//
+//insane:hotpath
 func (s *Shard) Observe(h HistID, v int64) { s.hists[h].observe(v) }
 
 // Telemetry owns the shard set of one runtime.

@@ -56,8 +56,11 @@ func Min(a, b VTime) VTime {
 }
 
 // Clock supplies virtual timestamps. Implementations must be safe for
-// concurrent use.
+// concurrent use, and — the pollers read the clock once per drain pass —
+// Now is a trusted hot-path boundary: implementations must not allocate
+// or block.
 type Clock interface {
+	//insane:hotpath
 	Now() VTime
 }
 
