@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet lint lint-hotpath bench bench-baseline metrics-smoke experiments demo examples loc help
+.PHONY: all test race vet lint lint-hotpath lint-concurrency bench bench-baseline metrics-smoke experiments demo examples loc help
 
 all: vet test lint ## vet + test + lint (the CI gate)
 
@@ -23,6 +23,9 @@ lint: ## run the insanevet static-analysis suite (see README, "Static analysis")
 
 lint-hotpath: ## prove the //insane:hotpath call graph allocation- and block-free
 	$(GO) run ./cmd/insanevet -run hotpathcheck ./...
+
+lint-concurrency: ## prove goroutine lifecycles, the global lock graph, and sync usage
+	$(GO) run ./cmd/insanevet -run goroutinecheck,lockorder,syncmisuse ./...
 
 bench: ## run every benchmark
 	$(GO) test -bench=. -benchmem ./...

@@ -1,10 +1,14 @@
 // Command insanevet vets the INSANE tree for violations of the runtime
 // conventions the compiler cannot check: zero-copy buffer ownership
-// (§5.1), poller lock ordering (§5.3), atomic-counter discipline,
-// timebase-routed clock reads, errors.Is discipline on wrapped
-// sentinels, and — via the whole-program hotpathcheck rule — freedom
-// from allocation and blocking on every //insane:hotpath-rooted call
-// chain. See README, "Static analysis".
+// (§5.1), poller lock ordering (§5.3) with a whole-program lock-cycle
+// proof, atomic-counter discipline, timebase-routed clock reads,
+// errors.Is discipline on wrapped sentinels, channel/WaitGroup misuse
+// (syncmisuse), and — via the whole-program hotpathcheck and
+// goroutinecheck rules — freedom from allocation and blocking on every
+// //insane:hotpath-rooted call chain, and a verified owner and stop
+// path for every goroutine the runtime spawns (annotated with
+// //insane:goroutine owner=<type> stop=<method>). See README, "Static
+// analysis".
 //
 // Usage:
 //

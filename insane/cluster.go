@@ -95,6 +95,9 @@ type Cluster struct {
 
 	metricsLn  net.Listener
 	metricsSrv *http.Server
+	// metricsDone is closed by the metrics serve goroutine on exit, so
+	// Close can join it instead of leaking it.
+	metricsDone chan struct{}
 }
 
 // Node is one edge node running an INSANE runtime.
@@ -249,8 +252,10 @@ func (c *Cluster) Nodes() []*Node {
 func (c *Cluster) Close() {
 	if c.metricsSrv != nil {
 		_ = c.metricsSrv.Close()
+		<-c.metricsDone
 		c.metricsSrv = nil
 		c.metricsLn = nil
+		c.metricsDone = nil
 	}
 	for _, n := range c.nodes {
 		if n.rt != nil {

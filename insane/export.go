@@ -28,9 +28,12 @@ func (c *Cluster) serveMetrics(addr string) error {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	c.metricsLn = ln
 	c.metricsSrv = &http.Server{Handler: mux}
-	go func(srv *http.Server, ln net.Listener) {
+	c.metricsDone = make(chan struct{})
+	//insane:goroutine owner=Cluster stop=Close
+	go func(srv *http.Server, ln net.Listener, done chan struct{}) {
+		defer close(done)
 		_ = srv.Serve(ln)
-	}(c.metricsSrv, ln)
+	}(c.metricsSrv, ln, c.metricsDone)
 	return nil
 }
 

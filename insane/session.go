@@ -196,6 +196,7 @@ func (st *Stream) CreateSink(channel int, cb DataCallback) (*Sink, error) {
 	if cb != nil {
 		k.stop = make(chan struct{})
 		k.done = make(chan struct{})
+		//insane:goroutine owner=Sink stop=Close
 		go k.dispatch(cb)
 	}
 	st.sess.mu.Lock()

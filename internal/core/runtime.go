@@ -313,6 +313,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		}
 		r.pollers = append(r.pollers, p)
 		r.wg.Add(1)
+		//insane:goroutine owner=Runtime stop=Close
 		go r.pollLoop(p)
 	}
 	return r, nil

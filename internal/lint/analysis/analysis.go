@@ -82,6 +82,20 @@ type Pass struct {
 	// exported for obj into *fact and reports whether one was found.
 	// Bound by the driver; nil for analyzers without FactTypes.
 	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// AllObjectFacts returns every object fact exported so far in this
+	// whole-program run, in export order (upstream returns the facts of
+	// the current package and its dependencies; with the in-memory
+	// store that is exactly the set accumulated by earlier passes).
+	// Bound by the driver; nil for analyzers without FactTypes.
+	AllObjectFacts func() []ObjectFact
+}
+
+// ObjectFact pairs an object with one fact attached to it, as returned
+// by Pass.AllObjectFacts.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -95,6 +109,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // in-memory map shared by every pass of one lint.Run invocation.
 type FactStore struct {
 	m map[factKey]Fact
+	// order preserves export order so AllObjectFacts iterates
+	// deterministically (map iteration would make diagnostics flap).
+	order []factKey
 }
 
 type factKey struct {
@@ -117,7 +134,11 @@ func (s *FactStore) Bind(p *Pass) {
 		if t.Kind() != reflect.Ptr {
 			panic(fmt.Sprintf("analysis: fact %T is not a pointer", fact))
 		}
-		s.m[factKey{obj, t}] = fact
+		key := factKey{obj, t}
+		if _, exists := s.m[key]; !exists {
+			s.order = append(s.order, key)
+		}
+		s.m[key] = fact
 	}
 	p.ImportObjectFact = func(obj types.Object, fact Fact) bool {
 		if obj == nil {
@@ -129,6 +150,13 @@ func (s *FactStore) Bind(p *Pass) {
 		}
 		reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
 		return true
+	}
+	p.AllObjectFacts = func() []ObjectFact {
+		out := make([]ObjectFact, 0, len(s.order))
+		for _, key := range s.order {
+			out = append(out, ObjectFact{Object: key.obj, Fact: s.m[key]})
+		}
+		return out
 	}
 }
 

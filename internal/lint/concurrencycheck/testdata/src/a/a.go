@@ -1,0 +1,159 @@
+// Package a seeds every intra-package goroutinecheck diagnostic class
+// plus the clean shapes the rule must accept.
+package a
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+)
+
+// server owns three goroutines, one per recognized stop mechanism.
+type server struct {
+	cancel  context.CancelFunc
+	stopped atomic.Bool
+	quit    chan struct{}
+}
+
+// Stop signals all three mechanisms, so it verifies against any of the
+// loops below.
+func (s *server) Stop() {
+	s.cancel()
+	s.stopped.Store(true)
+	close(s.quit)
+}
+
+// loopCtx waits on context cancellation.
+func (s *server) loopCtx(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// loopFlag polls an atomic stop flag.
+func (s *server) loopFlag() {
+	for {
+		if s.stopped.Load() {
+			return
+		}
+	}
+}
+
+// loopChan drains until the quit channel closes.
+func (s *server) loopChan() {
+	for range s.quit {
+	}
+}
+
+// launch spawns the three stoppable loops (each needs — and carries —
+// an ownership annotation) and one provably bounded worker.
+func launch(s *server, ctx context.Context) {
+	//insane:goroutine owner=server stop=Stop
+	go s.loopCtx(ctx)
+	//insane:goroutine owner=server stop=Stop
+	go s.loopFlag()
+	//insane:goroutine owner=server stop=Stop
+	go s.loopChan()
+	go bounded(3)
+}
+
+// bounded terminates on its own: no annotation needed.
+func bounded(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+// pump is stoppable but its spawn below is unannotated.
+type pump struct {
+	stop chan struct{}
+}
+
+func (p *pump) run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func startPump(p *pump) {
+	go p.run() // want `unannotated goroutine \(\*pump\)\.run runs until <-a\.pump\.stop`
+}
+
+// spin loops with no exit at all.
+func spin() {
+	for {
+	}
+}
+
+func startSpin() {
+	go spin() // want `spin has an infinite loop with no exit`
+}
+
+// startUnguarded exits its loop, but nothing ties the exit to a stop
+// signal — no annotation can vouch for it.
+func startUnguarded(work func() bool) {
+	go func() { // want `has an infinite loop whose exits are not guarded by a stop signal`
+		for {
+			if work() {
+				break
+			}
+		}
+	}()
+}
+
+// startUnstoppable calls a library entry point that can never be shut
+// down (the implicit http.Server is unreachable).
+func startUnstoppable() {
+	go func() { // want `calls net/http\.ListenAndServe, which can never be stopped`
+		_ = http.ListenAndServe("127.0.0.1:0", nil)
+	}()
+}
+
+// metrics spawns a stoppable library server: the annotation's stop
+// method shuts the same server down.
+type metrics struct {
+	srv *http.Server
+}
+
+func (m *metrics) Close() error {
+	return m.srv.Close()
+}
+
+func (m *metrics) start() {
+	//insane:goroutine owner=metrics stop=Close
+	go func() {
+		_ = m.srv.ListenAndServe()
+	}()
+}
+
+// dynamic spawns through a func value: unanalyzable without a vouching
+// annotation.
+func dynamic(f func()) {
+	go f() // want `go statement spawns a dynamic call that cannot be analyzed`
+}
+
+// vouchedDynamic shows the annotation escape hatch for func values.
+type tracker struct {
+	stop chan struct{}
+}
+
+func (t *tracker) Close() {
+	close(t.stop)
+}
+
+func vouchedDynamic(t *tracker, f func()) {
+	//insane:goroutine owner=tracker stop=Close
+	go f()
+}
+
+// suppressed shows the //lint:ignore path for a hard finding.
+func suppressed() {
+	//lint:ignore insanevet/goroutinecheck fixture proving the suppression path
+	go spin()
+}

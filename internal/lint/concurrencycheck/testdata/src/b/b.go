@@ -1,0 +1,14 @@
+// Package b spawns a goroutine whose unstoppable loop lives two calls
+// away in a dependency package: the diagnostic must carry the full
+// call chain, resolved through the fact graph.
+package b
+
+import "b/dep"
+
+func work() {
+	dep.Helper()
+}
+
+func launch() {
+	go work() // want `work reaches b/dep\.Spin, which loops forever with no exit: work -> b/dep\.Helper -> b/dep\.Spin`
+}

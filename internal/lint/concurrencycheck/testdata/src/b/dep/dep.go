@@ -1,0 +1,14 @@
+// Package dep hides an unstoppable loop two calls deep, so the
+// cross-package chain rendering of goroutinecheck can be asserted.
+package dep
+
+// Spin loops forever with no exit.
+func Spin() {
+	for {
+	}
+}
+
+// Helper reaches Spin.
+func Helper() {
+	Spin()
+}

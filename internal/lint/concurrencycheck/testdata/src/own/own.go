@@ -1,0 +1,57 @@
+// Package own seeds the annotation-verification failures of
+// goroutinecheck: the owner type or stop method missing, a stop method
+// that signals nothing, and a malformed directive.
+package own
+
+// Box owns a stoppable goroutine.
+type Box struct {
+	stop chan struct{}
+}
+
+func (b *Box) wait() {
+	for {
+		select {
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// Close signals the goroutine's stop channel.
+func (b *Box) Close() {
+	close(b.stop)
+}
+
+// Noop signals nothing.
+func (b *Box) Noop() {}
+
+// spawnGood is the verified-clean shape.
+func spawnGood(b *Box) {
+	//insane:goroutine owner=Box stop=Close
+	go b.wait()
+}
+
+// spawnUnknownOwner names a type that does not exist.
+func spawnUnknownOwner(b *Box) {
+	//insane:goroutine owner=Missing stop=Close
+	go b.wait() // want `owner type Missing not found in package own`
+}
+
+// spawnUnknownStop names a method the owner does not have.
+func spawnUnknownStop(b *Box) {
+	//insane:goroutine owner=Box stop=Vanish
+	go b.wait() // want `owner type Box has no method Vanish`
+}
+
+// spawnBadStop names a method that exists but never signals the
+// channel the goroutine waits on.
+func spawnBadStop(b *Box) {
+	//insane:goroutine owner=Box stop=Noop
+	go b.wait() // want `stop method \(\*Box\)\.Noop does not signal the goroutine's stop mechanism \(<-own\.Box\.stop\)`
+}
+
+// spawnMalformed carries a directive missing its stop= option.
+func spawnMalformed(b *Box) {
+	//insane:goroutine owner=Box
+	go b.wait() // want `malformed //insane:goroutine directive: missing stop=`
+}

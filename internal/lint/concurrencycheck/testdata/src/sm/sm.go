@@ -1,0 +1,106 @@
+// Package sm seeds every syncmisuse diagnostic class plus the clean
+// shapes the rule must accept.
+package sm
+
+import "sync"
+
+// doubleClose closes the same channel twice on one path.
+func doubleClose(ch chan int) {
+	close(ch)
+	close(ch) // want `second close of ch \(closing a closed channel panics\)`
+}
+
+// deferredDouble closes a channel that a deferred close will close
+// again at return.
+func deferredDouble(ch chan int) {
+	defer close(ch)
+	close(ch) // want `close of ch with a deferred close\(ch\) pending`
+}
+
+// sendAfterClose sends on a channel already closed on this path.
+func sendAfterClose(ch chan int) {
+	close(ch)
+	ch <- 1 // want `send on ch after close\(ch\) \(send on a closed channel panics\)`
+}
+
+// fieldClose tracks dotted chains too.
+type owner struct {
+	done chan struct{}
+}
+
+func fieldClose(o *owner) {
+	close(o.done)
+	close(o.done) // want `second close of o\.done`
+}
+
+// branchClose is clean: the two closes are on exclusive paths.
+func branchClose(ch chan int, cond bool) {
+	if cond {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+// reassigned is clean: the second close targets a fresh channel.
+func reassigned(ch chan int) {
+	close(ch)
+	ch = make(chan int)
+	close(ch)
+}
+
+// addInside counts the goroutine up from inside it: Wait can return
+// before Add runs.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `wg\.Add inside the spawned goroutine races Wait`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// missingDone counts a goroutine up that never counts itself down.
+func missingDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine uses wg counted up at wg\.Add but never calls wg\.Done \(Wait would hang\)`
+		_ = wg
+	}()
+	wg.Wait()
+}
+
+// earlyReturn skips the non-deferred Done on the error path.
+func earlyReturn(fail func() bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if fail() {
+			return
+		}
+		wg.Done() // want `wg\.Done is skipped when the goroutine returns early; defer it`
+	}()
+	wg.Wait()
+}
+
+// deferredDone is the clean shape: Done is deferred, so every path
+// counts down.
+func deferredDone(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// delegated passes the WaitGroup on: Done happens in the callee.
+func delegated(work func(*sync.WaitGroup)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		work(&wg)
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,11 @@
+// Package stray carries an //insane:goroutine annotation that no go
+// statement claims: it drifted two lines away from its statement and
+// vouches for nothing.
+package stray
+
+//insane:goroutine owner=Ghost stop=Close
+// (an unrelated comment pushes the go statement out of range)
+
+func launch() {
+	go func() {}()
+}

@@ -136,3 +136,146 @@ func (idx *Index) Malformed() []Ignore {
 	}
 	return out
 }
+
+// goroutineMarker introduces a goroutine-ownership annotation,
+// mirroring the //insane:hotpath convention:
+//
+//	//insane:goroutine owner=<type> stop=<method>
+//
+// placed on the line of a `go` statement or on the line above it. The
+// owner names a struct type in the same package and stop a method on
+// it (or its pointer type) that joins the goroutine; the goroutinecheck
+// analyzer verifies both and that the method signals the stop
+// mechanism the goroutine actually waits on.
+const goroutineMarker = "//insane:goroutine"
+
+// Goroutine is one parsed //insane:goroutine annotation.
+type Goroutine struct {
+	// Owner is the declared owning type name (the value of owner=).
+	Owner string
+	// Stop is the declared shutdown method name (the value of stop=).
+	Stop string
+	// File and Line locate the directive.
+	File string
+	Line int
+	// Pos is the directive's position.
+	Pos token.Pos
+	// Malformed is set when the directive was recognized but cannot be
+	// verified (missing or unknown keys); such a directive annotates
+	// nothing.
+	Malformed string
+}
+
+// ParseGoroutine interprets one comment as a goroutine annotation.
+func ParseGoroutine(text string) (Goroutine, bool) {
+	text = strings.TrimSpace(text)
+	if text != goroutineMarker && !strings.HasPrefix(text, goroutineMarker+" ") {
+		return Goroutine{}, false
+	}
+	var g Goroutine
+	fields := strings.Fields(strings.TrimPrefix(text, goroutineMarker))
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		switch {
+		case !ok:
+			g.Malformed = "option " + f + " is not key=value"
+			return g, true
+		case val == "":
+			g.Malformed = "empty value for " + key + "="
+			return g, true
+		}
+		switch key {
+		case "owner":
+			g.Owner = val
+		case "stop":
+			g.Stop = val
+		default:
+			g.Malformed = "unknown key " + key + " (only owner= and stop= are recognized)"
+			return g, true
+		}
+	}
+	switch {
+	case g.Owner == "" && g.Stop == "":
+		g.Malformed = "missing owner= and stop="
+	case g.Owner == "":
+		g.Malformed = "missing owner="
+	case g.Stop == "":
+		g.Malformed = "missing stop="
+	}
+	return g, true
+}
+
+// Goroutines extracts every //insane:goroutine annotation from the
+// files, malformed ones included.
+func Goroutines(fset *token.FileSet, files []*ast.File) []Goroutine {
+	var out []Goroutine
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				g, ok := ParseGoroutine(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				g.File = pos.Filename
+				g.Line = pos.Line
+				g.Pos = c.Pos()
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// GoroutineIndex answers per-line lookups of //insane:goroutine
+// annotations for one package.
+type GoroutineIndex struct {
+	byLine map[string]map[int]Goroutine
+	all    []Goroutine
+	// claimed marks annotations a `go` statement looked up, so drivers
+	// can surface the stray ones that annotate nothing.
+	claimed map[token.Pos]bool
+}
+
+// NewGoroutineIndex builds a GoroutineIndex from the package's files.
+func NewGoroutineIndex(fset *token.FileSet, files []*ast.File) *GoroutineIndex {
+	idx := &GoroutineIndex{
+		byLine:  make(map[string]map[int]Goroutine),
+		claimed: make(map[token.Pos]bool),
+	}
+	for _, g := range Goroutines(fset, files) {
+		idx.all = append(idx.all, g)
+		lines := idx.byLine[g.File]
+		if lines == nil {
+			lines = make(map[int]Goroutine)
+			idx.byLine[g.File] = lines
+		}
+		// An annotation covers its own line (trailing comment) and the
+		// next line (comment-above style), like //lint:ignore.
+		lines[g.Line] = g
+		lines[g.Line+1] = g
+	}
+	return idx
+}
+
+// At returns the annotation covering pos, marking it claimed.
+func (idx *GoroutineIndex) At(pos token.Position) (Goroutine, bool) {
+	g, ok := idx.byLine[pos.Filename][pos.Line]
+	if ok {
+		idx.claimed[g.Pos] = true
+	}
+	return g, ok
+}
+
+// Unclaimed returns the annotations no `go` statement looked up — a
+// directive that drifted away from its statement annotates nothing and
+// should be surfaced rather than silently ignored.
+func (idx *GoroutineIndex) Unclaimed() []Goroutine {
+	var out []Goroutine
+	for _, g := range idx.all {
+		if !idx.claimed[g.Pos] {
+			out = append(out, g)
+		}
+	}
+	return out
+}

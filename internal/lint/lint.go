@@ -8,13 +8,18 @@
 //	bufownership    — no touching zero-copy buffers after Emit/Abort, no
 //	                  Message use after Release (§5.1 slot pools)
 //	lockorder       — mu→schedMu acquisition order, locks never escape
-//	                  their function (§5.3 polling threads)
+//	                  their function, whole-program lock graph is
+//	                  cycle-free (§5.3 polling threads)
 //	atomicfield     — no copies of atomic fields, no mixed plain/atomic
 //	                  access to counters
 //	timebase        — datapath packages read time via internal/timebase
 //	hotpathcheck    — code reachable from //insane:hotpath roots is
 //	                  allocation- and blocking-free (§7 zero-alloc proof)
 //	sentinelcompare — errors wrapped with %w are matched with errors.Is
+//	goroutinecheck  — every go statement is provably bounded or carries
+//	                  a verified //insane:goroutine owner/stop annotation
+//	syncmisuse      — no double close, send after close, or WaitGroup
+//	                  paths that race or miss Done
 //
 // Analyzers that declare FactTypes are whole-program: Run applies them
 // over the full in-module dependency closure of the requested
@@ -31,6 +36,7 @@ import (
 	"github.com/insane-mw/insane/internal/lint/analysis"
 	"github.com/insane-mw/insane/internal/lint/atomicfield"
 	"github.com/insane-mw/insane/internal/lint/bufownership"
+	"github.com/insane-mw/insane/internal/lint/concurrencycheck"
 	"github.com/insane-mw/insane/internal/lint/directive"
 	"github.com/insane-mw/insane/internal/lint/hotpathcheck"
 	"github.com/insane-mw/insane/internal/lint/loader"
@@ -48,6 +54,8 @@ func Analyzers() []*analysis.Analyzer {
 		timebasecheck.Analyzer,
 		hotpathcheck.Analyzer,
 		sentinelcompare.Analyzer,
+		concurrencycheck.Goroutine,
+		concurrencycheck.Sync,
 	}
 }
 
@@ -67,6 +75,20 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (insanevet/%s)", f.Pos, f.Message, f.Analyzer)
 }
 
+// Info describes what a Run actually covered, so callers (the repo
+// self-check in particular) can assert the suite really ran instead of
+// silently analyzing nothing.
+type Info struct {
+	// Packages is the number of requested packages.
+	Packages int
+	// ClosurePackages is the size of the in-module dependency closure
+	// the whole-program analyzers ran over (0 when none was needed).
+	ClosurePackages int
+	// WholeProgram maps each whole-program analyzer name to the number
+	// of packages it analyzed.
+	WholeProgram map[string]int
+}
+
 // Run applies the analyzers to every package and returns the findings
 // that survive suppression, sorted by position.
 //
@@ -74,6 +96,13 @@ func (f Finding) String() string {
 // (non-empty FactTypes) reach the in-module dependency closure through
 // it. It may be nil when no analyzer declares facts.
 func Run(ldr *loader.Loader, pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	findings, _, err := RunWithInfo(ldr, pkgs, analyzers)
+	return findings, err
+}
+
+// RunWithInfo is Run plus coverage accounting.
+func RunWithInfo(ldr *loader.Loader, pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, Info, error) {
+	info := Info{Packages: len(pkgs), WholeProgram: make(map[string]int)}
 	var plain, whole []*analysis.Analyzer
 	for _, a := range analyzers {
 		if len(a.FactTypes) > 0 {
@@ -129,7 +158,7 @@ func Run(ldr *loader.Loader, pkgs []*loader.Package, analyzers []*analysis.Analy
 		}
 		for _, a := range plain {
 			if err := runOne(pkg, a, nil); err != nil {
-				return nil, err
+				return nil, info, err
 			}
 		}
 	}
@@ -137,14 +166,16 @@ func Run(ldr *loader.Loader, pkgs []*loader.Package, analyzers []*analysis.Analy
 	if len(whole) > 0 {
 		closure, err := dependencyClosure(ldr, pkgs)
 		if err != nil {
-			return nil, err
+			return nil, info, err
 		}
+		info.ClosurePackages = len(closure)
 		for _, a := range whole {
 			store := analysis.NewFactStore()
 			for _, pkg := range closure {
 				if err := runOne(pkg, a, store); err != nil {
-					return nil, err
+					return nil, info, err
 				}
+				info.WholeProgram[a.Name]++
 			}
 		}
 	}
@@ -159,7 +190,7 @@ func Run(ldr *loader.Loader, pkgs []*loader.Package, analyzers []*analysis.Analy
 		}
 		return a.Message < b.Message
 	})
-	return out, nil
+	return out, info, nil
 }
 
 // dependencyClosure expands pkgs with their in-module imports (loaded

@@ -1,12 +1,13 @@
 // Package lockorder implements the insanevet rule guarding the
-// runtime's poller locking discipline.
+// runtime's locking discipline.
 //
 // internal/core orders its techState locks strictly mu→schedMu: the
 // endpoint mutex (mu) is never acquired while the scheduler mutex
 // (schedMu) is held, because pollers take schedMu on every iteration
 // and a cross-technology send takes mu — the inverse nesting deadlocks
 // two pollers against each other (§5.3's multi-threaded datapath).
-// This analyzer flags, within one function body:
+//
+// Within one function body the analyzer flags:
 //
 //   - acquiring a mutex field named "mu" while a "schedMu" of the same
 //     receiver (or the same struct type) is held — the inversion of the
@@ -14,27 +15,87 @@
 //   - any Lock/RLock of a sync.Mutex/sync.RWMutex field with no
 //     matching Unlock/RUnlock (direct or deferred) anywhere in the same
 //     function — the runtime never hands locked state across function
-//     boundaries.
+//     boundaries;
+//   - an explicit return while a lock is still held and its Unlock is
+//     not deferred — the early-exit path leaks the lock even though a
+//     later Unlock satisfies the previous rule.
 //
-// The analysis is intra-procedural and branch-aware: locks taken inside
-// a branch are not considered held after it, and a deferred Unlock
-// keeps the lock held for order-checking until the function returns
-// (which is exactly how deadlocks happen).
+// Beyond the per-function rules the analyzer is whole-program: each
+// function exports a LockSummary fact recording which locks it acquires
+// while holding which others, plus its module-internal call edges with
+// the lock set held at each call site. Over the dependency closure
+// those summaries form a global acquired-after graph whose cycles are
+// potential deadlocks; each cycle is reported once with the full
+// acquisition chain, including the call path when an edge is closed
+// transitively in a callee (mirroring hotpathcheck's chain rendering).
+//
+// Lock identity in the global graph is by declaring type and field
+// ("core.techState.schedMu"), like lockdep classes: distinct instances
+// of one type share an identity, so a cycle means "some pair of
+// instances can deadlock". Same-class nesting (a.mu held while taking
+// b.mu) is therefore excluded from the graph — it is not a cycle
+// between classes. Function literals keep the per-function rules but
+// export no summary: a goroutine body's acquisition order is analyzed
+// where its named callees are defined.
+//
+// The per-function analysis is branch-aware and sequential: lock state
+// forks at branches, and a branch that cannot terminate the function
+// (no return/panic on its tail) merges the locks it still holds back
+// into the fall-through state — a deferred Unlock keeps its lock held
+// until the function returns, which is exactly how deadlocks happen.
 package lockorder
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 
 	"github.com/insane-mw/insane/internal/lint/analysis"
 )
 
 // Analyzer is the lockorder rule.
 var Analyzer = &analysis.Analyzer{
-	Name: "lockorder",
-	Doc:  "flag mu/schedMu lock-order inversions and Lock calls without a matching Unlock",
-	Run:  run,
+	Name:      "lockorder",
+	Doc:       "flag mu/schedMu inversions, lock leaks, and whole-program lock-order cycles",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*LockSummary)(nil)},
 }
+
+// LockRef identifies one lock class in the global graph.
+type LockRef struct {
+	// ID is the fully-qualified declaring type plus field, e.g.
+	// "github.com/insane-mw/insane/internal/core.techState.schedMu".
+	ID string
+	// Disp is the short display form, e.g. "core.techState.schedMu".
+	Disp string
+}
+
+// Acquire records one Lock/RLock and the lock classes held at it.
+type Acquire struct {
+	Lock LockRef
+	Held []LockRef
+	Pos  token.Pos
+}
+
+// LockCall records one module-internal call and the lock classes held
+// at the call site, so the global graph can close edges through the
+// callee's own acquisitions.
+type LockCall struct {
+	Callee *types.Func
+	Held   []LockRef
+	Pos    token.Pos
+}
+
+// LockSummary is the per-function fact exported for the global phase.
+type LockSummary struct {
+	Acquires []Acquire
+	Calls    []LockCall
+}
+
+// AFact marks LockSummary as an analysis fact.
+func (*LockSummary) AFact() {}
 
 // lockEvent is one Lock/Unlock-family call on a mutex-typed selector.
 type lockEvent struct {
@@ -44,27 +105,56 @@ type lockEvent struct {
 	field string // mutex field name, e.g. "schedMu"
 	base  string // canonical owner expression, e.g. "st"
 	typ   types.Type
+	ref   LockRef // global identity, zero when the owner type is unnamed
+	// deferredUnlock marks a lock whose Unlock is deferred: held until
+	// return, but not leaked by an early return.
+	deferredUnlock bool
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	// cycleSeen dedupes lock-cycle reports within this package by the
+	// set of lock classes involved. The mu→schedMu heuristic (rule 1)
+	// seeds it, so a cycle it already explains is not reported twice.
+	cycleSeen := make(map[string]bool)
+
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			var body *ast.BlockStmt
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
-				body = fn.Body
+				if fn.Body == nil {
+					return true
+				}
+				s := &scanner{pass: pass, cycleSeen: cycleSeen}
+				if pass.ExportObjectFact != nil {
+					s.sum = &LockSummary{}
+				}
+				s.checkFunc(fn.Body)
+				if s.sum != nil && (len(s.sum.Acquires) > 0 || len(s.sum.Calls) > 0) {
+					if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+						pass.ExportObjectFact(obj, s.sum)
+					}
+				}
 			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
-			}
-			if body != nil {
-				checkFunc(pass, body)
+				// Literals keep the per-function rules but export no
+				// summary (see the package doc).
+				s := &scanner{pass: pass, cycleSeen: cycleSeen}
+				s.checkFunc(fn.Body)
 			}
 			return true
 		})
 	}
+
+	if pass.AllObjectFacts != nil {
+		checkCycles(pass, cycleSeen)
+	}
 	return nil, nil
+}
+
+// scanner analyzes one function body.
+type scanner struct {
+	pass      *analysis.Pass
+	sum       *LockSummary // nil: intra-function rules only
+	cycleSeen map[string]bool
 }
 
 // held tracks the mutexes currently locked during the scan.
@@ -78,10 +168,24 @@ func (h held) clone() held {
 	return c
 }
 
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+// refs returns the distinct lock classes held, sorted by ID.
+func (h held) refs() []LockRef {
+	var out []LockRef
+	seen := make(map[string]bool)
+	for _, ev := range h {
+		if ev.ref.ID != "" && !seen[ev.ref.ID] {
+			seen[ev.ref.ID] = true
+			out = append(out, ev.ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (s *scanner) checkFunc(body *ast.BlockStmt) {
 	// Rule 2 first: every Lock needs a matching Unlock somewhere in the
 	// function (same mutex expression, same read/write flavor).
-	events := collect(pass, body)
+	events := collect(s.pass, body)
 	unlocked := make(map[string]bool)
 	for _, ev := range events {
 		if ev.verb == "Unlock" || ev.verb == "RUnlock" {
@@ -99,12 +203,12 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 			continue
 		}
 		if !unlocked[ev.key+"/"+want] {
-			pass.Reportf(ev.call.Pos(), "%s.%s() has no matching %s in this function (runtime locks never escape their function)", ev.key, ev.verb, want)
+			s.pass.Reportf(ev.call.Pos(), "%s.%s() has no matching %s in this function (runtime locks never escape their function)", ev.key, ev.verb, want)
 		}
 	}
 
-	// Rule 1: branch-aware scan for schedMu→mu inversions.
-	scanBlock(pass, body.List, make(held))
+	// Rules 1 and 3 plus summary collection: branch-aware scan.
+	s.scanBlock(body.List, make(held))
 }
 
 // collect gathers the lock events of a function body in source order,
@@ -160,7 +264,31 @@ func mutexCall(pass *analysis.Pass, call *ast.CallExpr) (lockEvent, bool) {
 		field: recv.Sel.Name,
 		base:  canon(recv.X),
 		typ:   ownerType,
+		ref:   lockRefOf(ownerType, recv.Sel.Name),
 	}, true
+}
+
+// lockRefOf builds the global identity of a mutex field from its
+// owner's type, or the zero LockRef for unnamed owners.
+func lockRefOf(owner types.Type, field string) LockRef {
+	if owner == nil {
+		return LockRef{}
+	}
+	if p, ok := owner.Underlying().(*types.Pointer); ok {
+		owner = p.Elem()
+	}
+	named, ok := owner.(*types.Named)
+	if !ok {
+		return LockRef{}
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return LockRef{}
+	}
+	return LockRef{
+		ID:   obj.Pkg().Path() + "." + obj.Name() + "." + field,
+		Disp: obj.Pkg().Name() + "." + obj.Name() + "." + field,
+	}
 }
 
 // isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
@@ -176,69 +304,131 @@ func isSyncMutex(t types.Type) bool {
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
 }
 
-// scanBlock applies rule 1 over a statement list: sequential lock state
-// within the block, copies for branches.
-func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, h held) {
-	for _, s := range stmts {
-		scanStmt(pass, s, h)
+// scanBlock applies rules 1 and 3 over a statement list: sequential
+// lock state within the block, copies for branches. It reports whether
+// the block always terminates the function (return/panic on every
+// path), so callers know not to merge its lock state back.
+func (s *scanner) scanBlock(stmts []ast.Stmt, h held) bool {
+	for _, st := range stmts {
+		if s.scanStmt(st, h) {
+			return true
+		}
 	}
+	return false
 }
 
-func scanStmt(pass *analysis.Pass, s ast.Stmt, h held) {
-	switch s := s.(type) {
+// branch scans a branch body into a fork of h; locks a non-terminating
+// branch still holds at its end (a Lock with a deferred or missing
+// Unlock) stay held in the fall-through — taking the branch is always
+// possible, so any order established inside it is established, period.
+func (s *scanner) branch(stmts []ast.Stmt, h held) bool {
+	hb := h.clone()
+	terminated := s.scanBlock(stmts, hb)
+	if !terminated {
+		for k, ev := range hb {
+			if _, ok := h[k]; !ok {
+				h[k] = ev
+			}
+		}
+	}
+	return terminated
+}
+
+func (s *scanner) scanStmt(st ast.Stmt, h held) bool {
+	switch st := st.(type) {
 	case *ast.ExprStmt:
-		applyExpr(pass, s.X, h, false)
+		s.applyExpr(st.X, h, false)
+		return isTerminalCall(s.pass, st.X)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.applyExpr(e, h, false)
+		}
+		// Rule 3: an explicit return leaks every held lock whose Unlock
+		// is not deferred.
+		keys := make([]string, 0, len(h))
+		for k := range h {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !h[k].deferredUnlock {
+				s.pass.Reportf(st.Pos(), "return while still holding %s (the Unlock below is skipped on this path; defer it at the Lock)", k)
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the block; nothing after them on
+		// this path.
+		return true
 	case *ast.DeferStmt:
 		// A deferred Unlock releases only at return: the mutex stays
 		// held for everything that follows in this function.
-		applyExpr(pass, s.Call, h, true)
+		s.applyExpr(st.Call, h, true)
 	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			applyExpr(pass, e, h, false)
+		for _, e := range st.Rhs {
+			s.applyExpr(e, h, false)
 		}
 	case *ast.IfStmt:
-		if s.Init != nil {
-			scanStmt(pass, s.Init, h)
+		if st.Init != nil {
+			s.scanStmt(st.Init, h)
 		}
-		scanBlock(pass, s.Body.List, h.clone())
-		if s.Else != nil {
-			scanStmt(pass, s.Else, h.clone())
+		s.applyExpr(st.Cond, h, false)
+		bodyTerm := s.branch(st.Body.List, h)
+		elseTerm := false
+		if st.Else != nil {
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				elseTerm = s.branch(e.List, h)
+			default:
+				elseTerm = s.branch([]ast.Stmt{e}, h)
+			}
 		}
+		return bodyTerm && elseTerm && st.Else != nil
 	case *ast.ForStmt:
-		if s.Init != nil {
-			scanStmt(pass, s.Init, h)
+		if st.Init != nil {
+			s.scanStmt(st.Init, h)
 		}
-		scanBlock(pass, s.Body.List, h.clone())
+		if st.Cond != nil {
+			s.applyExpr(st.Cond, h, false)
+		}
+		s.branch(st.Body.List, h)
 	case *ast.RangeStmt:
-		scanBlock(pass, s.Body.List, h.clone())
+		s.applyExpr(st.X, h, false)
+		s.branch(st.Body.List, h)
 	case *ast.BlockStmt:
-		scanBlock(pass, s.List, h)
+		return s.scanBlock(st.List, h)
 	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
+		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				scanBlock(pass, cc.Body, h.clone())
+				s.branch(cc.Body, h)
 			}
 		}
 	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
+		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				scanBlock(pass, cc.Body, h.clone())
+				s.branch(cc.Body, h)
 			}
 		}
 	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
+		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CommClause); ok {
-				scanBlock(pass, cc.Body, h.clone())
+				s.branch(cc.Body, h)
 			}
 		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently: the spawner's held
+		// set does not order its acquisitions (its named callees are
+		// summarized on their own).
 	case *ast.LabeledStmt:
-		scanStmt(pass, s.Stmt, h)
+		return s.scanStmt(st.Stmt, h)
 	}
+	return false
 }
 
 // applyExpr updates the held set with every mutex call in the
-// expression and reports order inversions as they happen.
-func applyExpr(pass *analysis.Pass, e ast.Expr, h held, deferred bool) {
+// expression, reports order inversions as they happen, and records
+// acquisitions and module-internal call edges into the summary.
+func (s *scanner) applyExpr(e ast.Expr, h held, deferred bool) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
@@ -247,8 +437,9 @@ func applyExpr(pass *analysis.Pass, e ast.Expr, h held, deferred bool) {
 		if !ok {
 			return true
 		}
-		ev, ok := mutexCall(pass, call)
+		ev, ok := mutexCall(s.pass, call)
 		if !ok {
+			s.recordCall(call, h)
 			return true
 		}
 		switch ev.verb {
@@ -256,18 +447,80 @@ func applyExpr(pass *analysis.Pass, e ast.Expr, h held, deferred bool) {
 			if ev.field == "mu" {
 				for _, prior := range h {
 					if prior.field == "schedMu" && sameOwner(prior, ev) {
-						pass.Reportf(call.Pos(), "%s.%s() while holding %s: lock order is mu→schedMu (inversion deadlocks the pollers)", ev.key, ev.verb, prior.key)
+						s.pass.Reportf(call.Pos(), "%s.%s() while holding %s: lock order is mu→schedMu (inversion deadlocks the pollers)", ev.key, ev.verb, prior.key)
+						if prior.ref.ID != "" && ev.ref.ID != "" {
+							s.cycleSeen[cycleKey([]string{prior.ref.ID, ev.ref.ID})] = true
+						}
 					}
 				}
 			}
+			if s.sum != nil && ev.ref.ID != "" {
+				s.sum.Acquires = append(s.sum.Acquires, Acquire{
+					Lock: ev.ref,
+					Held: h.refs(),
+					Pos:  call.Pos(),
+				})
+			}
 			h[ev.key] = ev
 		case "Unlock", "RUnlock":
-			if !deferred {
+			if deferred {
+				if prior, ok := h[ev.key]; ok {
+					prior.deferredUnlock = true
+					h[ev.key] = prior
+				}
+			} else {
 				delete(h, ev.key)
 			}
 		}
 		return true
 	})
+}
+
+// recordCall adds a module-internal static call edge to the summary.
+func (s *scanner) recordCall(call *ast.CallExpr, h held) {
+	if s.sum == nil {
+		return
+	}
+	callee := staticCallee(s.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	origin := callee.Origin()
+	if origin.Pkg() == nil {
+		return
+	}
+	var sum LockSummary
+	if origin.Pkg() != s.pass.Pkg && !s.pass.ImportObjectFact(origin, &sum) {
+		return // outside the analyzed module closure
+	}
+	s.sum.Calls = append(s.sum.Calls, LockCall{
+		Callee: origin,
+		Held:   h.refs(),
+		Pos:    call.Pos(),
+	})
+}
+
+// isTerminalCall reports whether the expression statement never
+// returns (panic, os.Exit, runtime.Goexit, log.Fatal*).
+func isTerminalCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.FullName() {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return true
+	}
+	return false
 }
 
 // sameOwner reports whether two mutex fields belong to the same
@@ -295,4 +548,47 @@ func canon(e ast.Expr) string {
 		return base + "." + e.Sel.Name
 	}
 	return ""
+}
+
+// staticCallee resolves the *types.Func a call statically targets, or
+// nil for calls through func values.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap explicit generic instantiation: f[T](...).
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil // field of func type: dynamic
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified function
+		}
+	}
+	return nil
+}
+
+// cycleKey canonicalizes a set of lock IDs for deduplication.
+func cycleKey(ids []string) string {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for i, id := range sorted {
+		if i == 0 || id != sorted[i-1] {
+			uniq = append(uniq, id)
+		}
+	}
+	return strings.Join(uniq, "\x00")
 }

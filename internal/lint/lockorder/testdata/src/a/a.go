@@ -88,6 +88,53 @@ func readLock(st *techState) {
 	defer st.rw.RUnlock()
 }
 
+// Seeded violation 6 (branch-merge regression): schedMu is locked in a
+// branch with a deferred unlock, so it is still held when the branch
+// falls through — the mu acquisition after the if inverts the order.
+// The old scanner dropped branch-local locks at the brace and missed
+// this.
+func branchFallthrough(st *techState, cond bool) {
+	if cond {
+		st.schedMu.Lock()
+		defer st.schedMu.Unlock()
+	}
+	st.mu.Lock() // want `lock order is mu→schedMu`
+	st.mu.Unlock()
+}
+
+// A branch that always returns does not leak its locks into the
+// fall-through: the deferred unlock runs before control could reach
+// the statements after the if.
+func branchReturns(st *techState, cond bool) {
+	if cond {
+		st.schedMu.Lock()
+		defer st.schedMu.Unlock()
+		return
+	}
+	st.mu.Lock()
+	st.mu.Unlock()
+}
+
+// Seeded violation 7: an early return between Lock and Unlock leaks
+// the lock on that path even though the pairing rule is satisfied.
+func returnWhileHolding(st *techState, cond bool) {
+	st.mu.Lock()
+	if cond {
+		return // want `return while still holding st\.mu`
+	}
+	st.mu.Unlock()
+}
+
+// Unlocking before the early return is clean.
+func returnAfterUnlock(st *techState, cond bool) {
+	st.mu.Lock()
+	if cond {
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Unlock()
+}
+
 // The suppression path: an explicit, reasoned directive waives the
 // finding.
 func suppressed(st *techState) {

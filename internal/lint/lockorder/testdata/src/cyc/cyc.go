@@ -1,0 +1,31 @@
+// Package cyc closes a lock cycle across a package boundary: f holds
+// S.a and calls dep.LockAndPoke (S.a -> dep.Guard.Mu, established
+// transitively in the callee), while g holds dep.Guard.Mu and takes
+// S.a directly (dep.Guard.Mu -> S.a). Neither function is wrong on its
+// own; only the whole-program graph sees the deadlock.
+package cyc
+
+import (
+	"cyc/dep"
+	"sync"
+)
+
+// S owns the upstream lock of the cycle.
+type S struct {
+	a sync.Mutex
+}
+
+// f establishes cyc.S.a -> dep.Guard.Mu through the call.
+func f(s *S, g *dep.Guard) {
+	s.a.Lock()
+	dep.LockAndPoke(g) // want `acquiring dep\.Guard\.Mu while holding cyc\.S\.a closes a lock cycle: cyc\.S\.a -> dep\.Guard\.Mu \(in cyc\.f -> dep\.LockAndPoke\) -> cyc\.S\.a \(in cyc\.g\)`
+	s.a.Unlock()
+}
+
+// g establishes the reverse edge dep.Guard.Mu -> cyc.S.a directly.
+func g(gd *dep.Guard, s *S) {
+	gd.Mu.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	gd.Mu.Unlock()
+}

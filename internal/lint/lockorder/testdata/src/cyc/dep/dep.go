@@ -1,0 +1,18 @@
+// Package dep is the downstream half of the cross-package lock-cycle
+// fixture: it owns a Guard whose mutex upstream code acquires through
+// LockAndPoke.
+package dep
+
+import "sync"
+
+// Guard wraps a mutex that callers reach only through this package.
+type Guard struct {
+	Mu sync.Mutex
+}
+
+// LockAndPoke takes the guard's mutex; a caller holding one of its own
+// locks therefore establishes an acquired-after edge into dep.Guard.Mu.
+func LockAndPoke(g *Guard) {
+	g.Mu.Lock()
+	g.Mu.Unlock()
+}

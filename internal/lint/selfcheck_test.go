@@ -12,9 +12,12 @@ import (
 
 // TestRepositoryIsClean runs the full insanevet suite over the whole
 // module, exactly as `make lint` does: the tree must stay free of
-// ownership, lock-order, atomicity, timebase, hot-path and
-// sentinel-comparison violations (or carry explicit //lint:ignore
-// directives).
+// ownership, lock-order, atomicity, timebase, hot-path,
+// sentinel-comparison, goroutine-lifecycle and sync-misuse violations
+// (or carry explicit //lint:ignore directives). It also asserts the
+// whole-program analyzers really covered the module's dependency
+// closure — a suite that silently analyzed nothing would pass
+// otherwise.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the entire module")
@@ -30,12 +33,21 @@ func TestRepositoryIsClean(t *testing.T) {
 	if len(pkgs) < 30 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	findings, err := lint.Run(ldr, pkgs, lint.Analyzers())
+	findings, info, err := lint.RunWithInfo(ldr, pkgs, lint.Analyzers())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+
+	if info.ClosurePackages < 30 {
+		t.Errorf("whole-program closure covered only %d packages (want >= 30)", info.ClosurePackages)
+	}
+	for _, name := range []string{"goroutinecheck", "lockorder", "hotpathcheck"} {
+		if n := info.WholeProgram[name]; n < 30 {
+			t.Errorf("whole-program analyzer %s ran over %d packages (want >= 30)", name, n)
+		}
 	}
 }
 
