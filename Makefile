@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet lint lint-hotpath lint-concurrency bench bench-baseline metrics-smoke experiments demo examples loc help
+.PHONY: all test race vet lint lint-hotpath lint-concurrency lint-arch lint-bounded bench bench-baseline metrics-smoke experiments demo examples loc help
 
 all: vet test lint ## vet + test + lint (the CI gate)
 
@@ -26,6 +26,12 @@ lint-hotpath: ## prove the //insane:hotpath call graph allocation- and block-fre
 
 lint-concurrency: ## prove goroutine lifecycles, the global lock graph, and sync usage
 	$(GO) run ./cmd/insanevet -run goroutinecheck,lockorder,syncmisuse ./...
+
+lint-arch: ## enforce the ARCH.layers layering fence (a stale spec entry fails the run)
+	$(GO) run ./cmd/insanevet -run archcheck ./...
+
+lint-bounded: ## prove every hot-path loop bounded or waived with //insane:bounded
+	$(GO) run ./cmd/insanevet -run boundedcheck ./...
 
 bench: ## run every benchmark
 	$(GO) test -bench=. -benchmem ./...

@@ -7,8 +7,12 @@
 // goroutinecheck rules — freedom from allocation and blocking on every
 // //insane:hotpath-rooted call chain, and a verified owner and stop
 // path for every goroutine the runtime spawns (annotated with
-// //insane:goroutine owner=<type> stop=<method>). See README, "Static
-// analysis".
+// //insane:goroutine owner=<type> stop=<method>). The archcheck rule
+// fences imports to the layering declared in ARCH.layers (a stale spec
+// aborts the run), and boundedcheck proves every loop reachable from a
+// hot-path root bounded by a compile-time constant or waived with a
+// verified //insane:bounded by=<reason> annotation. See README,
+// "Static analysis".
 //
 // Usage:
 //

@@ -600,6 +600,7 @@ func (k *SinkHandle) ConsumeCancel(cancel <-chan struct{}, timeout time.Duration
 		defer putTimer(t)
 		deadline = t.C
 	}
+	//insane:bounded by=blocking-consume wait: exits on data, deadline, or cancellation, not per-packet work
 	for {
 		d, err := k.TryConsume()
 		if err == nil {

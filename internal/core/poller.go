@@ -59,6 +59,7 @@ func (r *Runtime) pollLoop(p *poller) {
 		<-timer.C
 	}
 	defer timer.Stop()
+	//insane:bounded by=poller event loop: lives for the runtime, each iteration is one bounded pass
 	for {
 		select {
 		case <-p.stop:
@@ -68,6 +69,7 @@ func (r *Runtime) pollLoop(p *poller) {
 		p.loops.Add(1)
 		work := 0
 		gated := false
+		//insane:bounded by=one entry per registered technology, fixed at runtime construction
 		for i, st := range p.states {
 			work += r.drainTX(p, &p.snaps[i], st)
 			work += r.pollRX(p, st)
@@ -130,6 +132,7 @@ func (r *Runtime) refreshTxSnap(s *txSnap, tech model.Tech) {
 	conns := r.connList
 	r.mu.RUnlock()
 	s.rings = s.rings[:0]
+	//insane:bounded by=topology-epoch rebuild: one entry per live client connection, off the steady-state path
 	for _, c := range conns {
 		c.mu.Lock()
 		ring := c.txRings[tech]
@@ -153,6 +156,7 @@ func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
 	r.refreshTxSnap(snap, st.tech)
 	now := r.clock.Now()
 	pulled := 0
+	//insane:bounded by=one ring per live session in the epoch snapshot
 	for _, ring := range snap.rings {
 		// Ring occupancy, sampled before the drain: queue-depth visibility
 		// for the exporter without a per-token cost. Empty rings are not
@@ -161,6 +165,7 @@ func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
 		if occ := ring.Len(); occ > 0 {
 			p.shard.Observe(telemetry.HistTxRingOccupancy, int64(occ))
 		}
+		//insane:bounded by=pulled strictly increases per iteration and r.burst <= model.MaxBurst
 		for pulled < r.burst {
 			want := r.burst - pulled
 			if want > len(p.toks) {
@@ -170,6 +175,7 @@ func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
 			if n == 0 {
 				break
 			}
+			//insane:bounded by=n <= len(p.toks), the per-poller burst buffer (<= model.MaxBurst)
 			for i := 0; i < n; i++ {
 				r.enqueueToken(p, st, p.toks[i], now)
 			}
@@ -238,6 +244,7 @@ func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken, now timeba
 // the pass's clock reading, used to close the scheduler-dwell interval
 // opened by enqueueToken.
 func (r *Runtime) dispatch(p *poller, st *techState, batch []*datapath.Packet, now timebase.VTime) {
+	//insane:bounded by=batch is the poller's dequeue buffer, sized to burst <= model.MaxBurst
 	for _, pkt := range batch {
 		env, ok := pkt.Ctx.(*pktEnv)
 		if !ok {
@@ -263,6 +270,7 @@ func (r *Runtime) dispatch(p *poller, st *techState, batch []*datapath.Packet, n
 		subs := r.subs.subscribers(meta.channel)
 		sent := 0
 		var sendErr error
+		//insane:bounded by=one entry per subscribed peer, fixed by the cluster configuration
 		for _, sub := range subs {
 			if err := r.sendToPeer(p, st, pkt, sub); err != nil {
 				sendErr = err
@@ -355,6 +363,7 @@ func (r *Runtime) sendToPeer(p *poller, st *techState, pkt *datapath.Packet, sub
 func (r *Runtime) deliverLocal(p *poller, pkt *datapath.Packet, channel uint32, sinks []*SinkHandle, noTel bool) {
 	payloadOff := pkt.Off + HeaderLen
 	payloadLen := pkt.Len - HeaderLen
+	//insane:bounded by=one entry per sink registered on the channel, fixed by the application
 	for i, k := range sinks {
 		tok := rxToken{
 			slot:    pkt.Slot,
@@ -406,6 +415,7 @@ func (r *Runtime) pollRX(p *poller, st *techState) int {
 	if err != nil || len(pkts) == 0 {
 		return 0
 	}
+	//insane:bounded by=the datapath returns at most one burst of packets per Receive
 	for _, pkt := range pkts {
 		r.receiveOne(p, st, pkt)
 	}
@@ -464,6 +474,7 @@ func (r *Runtime) receiveOne(p *poller, st *techState, pkt *datapath.Packet) {
 func (r *Runtime) deliverRemote(p *poller, pkt *datapath.Packet, channel uint32, sinks []*SinkHandle) {
 	payloadOff := pkt.Off + HeaderLen
 	payloadLen := pkt.Len - HeaderLen
+	//insane:bounded by=one entry per sink registered on the channel, fixed by the application
 	for i, k := range sinks {
 		tok := rxToken{
 			slot:    pkt.Slot,

@@ -213,6 +213,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if burst <= 0 {
 		burst = model.DefaultBurst
 	}
+	if burst > model.MaxBurst {
+		burst = model.MaxBurst
+	}
 	mm, err := mempool.NewManager(cfg.Mem)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -536,6 +539,7 @@ func (r *Runtime) waitPollerPasses(n uint64, deadline time.Time) {
 
 // kickTX wakes idle pollers after an Emit.
 func (r *Runtime) kickTX() {
+	//insane:bounded by=one poller per technology, fixed at runtime construction
 	for _, p := range r.pollers {
 		select {
 		case p.kick <- struct{}{}:

@@ -1,0 +1,102 @@
+// Package archcheck is the module's layering fence: a declarative spec
+// (ARCH.layers at the module root) assigns every package to a layer,
+// and every module-internal import must point strictly downward, into a
+// layer the importer's layer explicitly allows.
+//
+// The spec is line-oriented:
+//
+//	module github.com/insane-mw/insane
+//
+//	layer base
+//	package internal/ringbuf
+//
+//	layer mem
+//	allow base
+//	package internal/mempool
+//
+// Declaration order is depth: a layer may only `allow` layers declared
+// before it, and same-layer imports are forbidden, so the layer graph
+// is a DAG by construction — an import that would create a package
+// cycle necessarily points upward or sideways and is reported at its
+// file:line. Four diagnostics cover the failure modes:
+//
+//   - the analyzed package is not assigned to any layer
+//   - an import of a module package that is not assigned to any layer
+//   - an import into the same layer
+//   - an upward import, or a downward import the layer does not allow
+//
+// A deliberate, reviewed exception is waived at the import line with
+// `//lint:ignore insanevet/archcheck <reason>`; the spec itself stays
+// exception-free. Spec defects (unknown packages, double claims, stale
+// entries) are load errors that abort the lint run — see Load.
+//
+// The analyzer declares a fact type so the driver runs it whole-program
+// over the full dependency closure: the fence is only meaningful if
+// every package is checked, and the selfcheck asserts the coverage
+// count. The fact itself carries no information (layer membership comes
+// from the spec, not from analysis).
+package archcheck
+
+import (
+	"path/filepath"
+	"strings"
+
+	"github.com/insane-mw/insane/internal/lint/analysis"
+)
+
+// name is the rule name used in diagnostics and suppression lookups.
+const name = "archcheck"
+
+// coverage is the declare-only fact marking archcheck whole-program
+// (see package doc).
+type coverage struct{}
+
+// AFact marks coverage as an analysis fact.
+func (*coverage) AFact() {}
+
+// Analyzer is the archcheck rule.
+var Analyzer = &analysis.Analyzer{
+	Name:      name,
+	Doc:       "module-internal imports must respect the layering declared in ARCH.layers",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*coverage)(nil)},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if len(pass.Files) == 0 {
+		return nil, nil
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Package).Filename)
+	spec, err := Find(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	rel := spec.Resolve(pass.Pkg.Path())
+	self := spec.LayerOf(rel)
+	if self == nil {
+		pass.Reportf(pass.Files[0].Name.Pos(), "package %s is not assigned to any layer in %s", pass.Pkg.Path(), spec.Path)
+		return nil, nil
+	}
+
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			ipath := strings.Trim(imp.Path.Value, `"`)
+			irel := spec.Resolve(ipath)
+			target := spec.LayerOf(irel)
+			switch {
+			case target == nil:
+				if spec.InScope(ipath) {
+					pass.Reportf(imp.Path.Pos(), "import of %s: package is not assigned to any layer in %s", ipath, spec.Path)
+				}
+			case target == self:
+				pass.Reportf(imp.Path.Pos(), "import of %s: %s and %s are both in layer %q (same-layer imports are forbidden; move one package or split the layer)", ipath, rel, irel, self.Name)
+			case target.Rank > self.Rank:
+				pass.Reportf(imp.Path.Pos(), "import of %s: layer %q must not import upward into layer %q", ipath, self.Name, target.Name)
+			case !self.Allow[target.Name]:
+				pass.Reportf(imp.Path.Pos(), "import of %s: layer %q does not allow imports from layer %q (no `allow %s` under `layer %s` in %s)", ipath, self.Name, target.Name, target.Name, self.Name, spec.Path)
+			}
+		}
+	}
+	return nil, nil
+}

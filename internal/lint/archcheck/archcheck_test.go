@@ -1,0 +1,22 @@
+package archcheck_test
+
+import (
+	"testing"
+
+	"github.com/insane-mw/insane/internal/lint/analysistest"
+	"github.com/insane-mw/insane/internal/lint/archcheck"
+)
+
+// TestFixtures drives every diagnostic class from one closure: the
+// `top` package pulls in mid, leaf, leaf2, peer and unassigned, and the
+// `// want` expectations across all of them must fire (same-layer,
+// upward, not-allowed, unassigned package, unassigned import), while
+// the //lint:ignore waiver in top must hold.
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", archcheck.Analyzer, "top")
+}
+
+// TestCleanPackage runs a package with no findings alone.
+func TestCleanPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", archcheck.Analyzer, "leaf")
+}

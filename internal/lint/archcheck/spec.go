@@ -1,0 +1,217 @@
+package archcheck
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SpecName is the file archcheck looks for, walking up from each
+// analyzed package's directory. The spec closest to the package wins,
+// so analysistest fixture trees carry their own spec without ever
+// seeing the repository's.
+const SpecName = "ARCH.layers"
+
+// Layer is one declared layer of the spec.
+type Layer struct {
+	// Name is the layer's identifier in diagnostics and allow lines.
+	Name string
+	// Rank is the declaration position: 0 is the deepest layer. A layer
+	// may only allow layers declared before it, so allowed ⊆ lower-rank
+	// and the layer graph is acyclic by construction.
+	Rank int
+	// Allow names the layers this layer's packages may import.
+	Allow map[string]bool
+	// Packages lists the module-relative package paths assigned here.
+	Packages []string
+}
+
+// Spec is a parsed, validated ARCH.layers file.
+type Spec struct {
+	// Path locates the spec file; Dir is its directory (the fence's
+	// root: package paths are relative to it).
+	Path string
+	Dir  string
+	// Module is the module path mapped onto Dir.
+	Module string
+	// Layers in declaration (rank) order.
+	Layers []*Layer
+
+	byPackage map[string]*Layer
+	byName    map[string]*Layer
+}
+
+// Find walks up from dir to the nearest ARCH.layers and loads it.
+func Find(dir string) (*Spec, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; {
+		p := filepath.Join(d, SpecName)
+		if _, err := os.Stat(p); err == nil {
+			return Load(p)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return nil, fmt.Errorf("archcheck: no %s found above %s", SpecName, abs)
+		}
+		d = parent
+	}
+}
+
+// Load parses and validates one spec file. Any defect — unknown
+// keyword, duplicate layer, allow of an undeclared (or later, or own)
+// layer, a package claimed twice, or an entry whose directory no longer
+// holds a Go package — is an error, not a diagnostic: a stale spec must
+// stop the lint run loudly rather than fence against a world that no
+// longer exists.
+func Load(specPath string) (*Spec, error) {
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, fmt.Errorf("archcheck: %w", err)
+	}
+	s := &Spec{
+		Path:      specPath,
+		Dir:       filepath.Dir(specPath),
+		byPackage: make(map[string]*Layer),
+		byName:    make(map[string]*Layer),
+	}
+	var cur *Layer
+	for i, raw := range strings.Split(string(data), "\n") {
+		errf := func(format string, args ...interface{}) error {
+			return fmt.Errorf("%s:%d: %s", specPath, i+1, fmt.Sprintf(format, args...))
+		}
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, errf("want `<keyword> <argument>`, got %q", line)
+		}
+		keyword, arg := fields[0], fields[1]
+		switch keyword {
+		case "module":
+			if s.Module != "" {
+				return nil, errf("duplicate module line")
+			}
+			if cur != nil {
+				return nil, errf("module must precede the first layer")
+			}
+			s.Module = arg
+		case "layer":
+			if s.byName[arg] != nil {
+				return nil, errf("duplicate layer %q", arg)
+			}
+			cur = &Layer{Name: arg, Rank: len(s.Layers), Allow: make(map[string]bool)}
+			s.Layers = append(s.Layers, cur)
+			s.byName[arg] = cur
+		case "allow":
+			if cur == nil {
+				return nil, errf("allow before any layer")
+			}
+			target := s.byName[arg]
+			if target == nil {
+				return nil, errf("layer %q allows %q, which is not declared above it (a layer may only allow layers declared earlier)", cur.Name, arg)
+			}
+			if target == cur {
+				return nil, errf("layer %q cannot allow itself", cur.Name)
+			}
+			if cur.Allow[arg] {
+				return nil, errf("duplicate allow %q in layer %q", arg, cur.Name)
+			}
+			cur.Allow[arg] = true
+		case "package":
+			if cur == nil {
+				return nil, errf("package before any layer")
+			}
+			if path.Clean(arg) != arg || path.IsAbs(arg) || arg == ".." || strings.HasPrefix(arg, "../") {
+				return nil, errf("package path %q must be a clean module-relative path", arg)
+			}
+			if prev := s.byPackage[arg]; prev != nil {
+				return nil, errf("package %s is claimed by both layer %q and layer %q", arg, prev.Name, cur.Name)
+			}
+			s.byPackage[arg] = cur
+			cur.Packages = append(cur.Packages, arg)
+		default:
+			return nil, errf("unknown keyword %q (want module, layer, allow or package)", keyword)
+		}
+	}
+	if s.Module == "" {
+		return nil, fmt.Errorf("%s: missing module line", specPath)
+	}
+	if len(s.Layers) == 0 {
+		return nil, fmt.Errorf("%s: no layers declared", specPath)
+	}
+
+	// Stale entries: every assigned package must still be a Go package
+	// under the spec directory. (Whether it still type-checks is `go
+	// build ./...`'s job; the fence only needs to notice removals and
+	// renames that would silently shrink its coverage.)
+	rels := make([]string, 0, len(s.byPackage))
+	for rel := range s.byPackage {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		if !hasGoPackage(filepath.Join(s.Dir, filepath.FromSlash(rel))) {
+			return nil, fmt.Errorf("%s: package %s (layer %q) is not a Go package under %s — stale spec entry", specPath, rel, s.byPackage[rel].Name, s.Dir)
+		}
+	}
+	return s, nil
+}
+
+// Resolve maps an import path to the spec's module-relative form.
+func (s *Spec) Resolve(pkgPath string) string {
+	switch {
+	case pkgPath == s.Module:
+		return "."
+	case strings.HasPrefix(pkgPath, s.Module+"/"):
+		return pkgPath[len(s.Module)+1:]
+	}
+	// Testdata trees use bare directory-relative import paths.
+	return pkgPath
+}
+
+// LayerOf returns the layer a module-relative package is assigned to,
+// or nil.
+func (s *Spec) LayerOf(rel string) *Layer {
+	return s.byPackage[rel]
+}
+
+// InScope reports whether an import path falls under the fence: it
+// carries the module prefix, or it resolves to a Go package directory
+// below the spec (the bare import paths of testdata trees). Everything
+// else — the standard library — is out of scope.
+func (s *Spec) InScope(pkgPath string) bool {
+	if pkgPath == s.Module || strings.HasPrefix(pkgPath, s.Module+"/") {
+		return true
+	}
+	rel := s.Resolve(pkgPath)
+	if path.Clean(rel) != rel || path.IsAbs(rel) || strings.HasPrefix(rel, "../") {
+		return false
+	}
+	return hasGoPackage(filepath.Join(s.Dir, filepath.FromSlash(rel)))
+}
+
+// hasGoPackage reports whether dir holds at least one non-test Go file.
+func hasGoPackage(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

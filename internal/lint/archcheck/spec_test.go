@@ -1,0 +1,231 @@
+package archcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSpec materializes a spec file plus the package directories its
+// entries reference (each with a single Go file), so Load's stale-entry
+// validation passes unless a test withholds a directory.
+func writeSpec(t *testing.T, spec string, pkgs ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, p := range pkgs {
+		pdir := filepath.Join(dir, filepath.FromSlash(p))
+		if err := os.MkdirAll(pdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		name := strings.ReplaceAll(filepath.Base(pdir), "-", "")
+		src := "package " + name + "\n"
+		if err := os.WriteFile(filepath.Join(pdir, "p.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, SpecName)
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadValid(t *testing.T) {
+	path := writeSpec(t, `
+# comment
+module example.com/m
+
+layer base
+package a
+package b
+
+layer top
+allow base
+package c/d
+`, "a", "b", "c/d")
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Layers) != 2 {
+		t.Fatalf("layers = %d, want 2", len(s.Layers))
+	}
+	if got := s.Resolve("example.com/m/c/d"); got != "c/d" {
+		t.Errorf("Resolve module path = %q, want c/d", got)
+	}
+	if got := s.Resolve("example.com/m"); got != "." {
+		t.Errorf("Resolve module root = %q, want .", got)
+	}
+	if l := s.LayerOf("c/d"); l == nil || l.Name != "top" {
+		t.Errorf("LayerOf(c/d) = %v, want top", l)
+	}
+	if l := s.LayerOf("a"); l == nil || l.Rank != 0 {
+		t.Errorf("LayerOf(a) = %v, want rank 0", l)
+	}
+	if !s.Layers[1].Allow["base"] {
+		t.Error("top should allow base")
+	}
+	if !s.InScope("example.com/m/anything") {
+		t.Error("module-prefixed path should be in scope")
+	}
+	if !s.InScope("a") {
+		t.Error("bare path with a package directory should be in scope")
+	}
+	if s.InScope("fmt") {
+		t.Error("stdlib path should be out of scope")
+	}
+}
+
+// TestLoadMalformed covers every validation failure: a stale or
+// contradictory ARCH.layers must abort the lint run with an error
+// naming the defect, never silently pass.
+func TestLoadMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		spec string
+		pkgs []string
+		want string
+	}{
+		{
+			name: "unknown package (stale entry)",
+			spec: "module m\nlayer base\npackage gone\n",
+			pkgs: nil,
+			want: "package gone (layer \"base\") is not a Go package",
+		},
+		{
+			name: "two layers claim one package",
+			spec: "module m\nlayer base\npackage a\nlayer top\npackage a\n",
+			pkgs: []string{"a"},
+			want: `package a is claimed by both layer "base" and layer "top"`,
+		},
+		{
+			name: "allow of a layer that does not exist",
+			spec: "module m\nlayer base\npackage a\nlayer top\nallow gone\npackage b\n",
+			pkgs: []string{"a", "b"},
+			want: `allows "gone", which is not declared above it`,
+		},
+		{
+			name: "allow of a later layer",
+			spec: "module m\nlayer base\nallow top\npackage a\nlayer top\npackage b\n",
+			pkgs: []string{"a", "b"},
+			want: `allows "top", which is not declared above it`,
+		},
+		{
+			name: "allow self",
+			spec: "module m\nlayer base\nallow base\npackage a\n",
+			pkgs: []string{"a"},
+			want: `layer "base" cannot allow itself`,
+		},
+		{
+			name: "duplicate layer",
+			spec: "module m\nlayer base\npackage a\nlayer base\n",
+			pkgs: []string{"a"},
+			want: `duplicate layer "base"`,
+		},
+		{
+			name: "duplicate allow",
+			spec: "module m\nlayer base\npackage a\nlayer top\nallow base\nallow base\npackage b\n",
+			pkgs: []string{"a", "b"},
+			want: `duplicate allow "base"`,
+		},
+		{
+			name: "package before any layer",
+			spec: "module m\npackage a\n",
+			pkgs: []string{"a"},
+			want: "package before any layer",
+		},
+		{
+			name: "allow before any layer",
+			spec: "module m\nallow base\n",
+			pkgs: nil,
+			want: "allow before any layer",
+		},
+		{
+			name: "missing module",
+			spec: "layer base\npackage a\n",
+			pkgs: []string{"a"},
+			want: "missing module line",
+		},
+		{
+			name: "duplicate module",
+			spec: "module m\nmodule n\nlayer base\npackage a\n",
+			pkgs: []string{"a"},
+			want: "duplicate module line",
+		},
+		{
+			name: "module after layer",
+			spec: "layer base\nmodule m\npackage a\n",
+			pkgs: []string{"a"},
+			want: "module must precede the first layer",
+		},
+		{
+			name: "unknown keyword",
+			spec: "module m\nlayers base\n",
+			pkgs: nil,
+			want: `unknown keyword "layers"`,
+		},
+		{
+			name: "wrong arity",
+			spec: "module m\nlayer base extra\n",
+			pkgs: nil,
+			want: "want `<keyword> <argument>`",
+		},
+		{
+			name: "unclean package path",
+			spec: "module m\nlayer base\npackage ../escape\n",
+			pkgs: nil,
+			want: "must be a clean module-relative path",
+		},
+		{
+			name: "no layers",
+			spec: "module m\n",
+			pkgs: nil,
+			want: "no layers declared",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			path := writeSpec(t, tt.spec, tt.pkgs...)
+			_, err := Load(path)
+			if err == nil {
+				t.Fatalf("Load succeeded, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestFindWalksUp(t *testing.T) {
+	path := writeSpec(t, "module m\nlayer base\npackage a\n", "a")
+	root := filepath.Dir(path)
+	s, err := Find(filepath.Join(root, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Path != path {
+		t.Errorf("Find returned %s, want %s", s.Path, path)
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	// A directory tree with no spec anywhere up to the filesystem root
+	// cannot be guaranteed in a test environment (an ancestor might
+	// carry one), so probe from a temp dir only if no ancestor has it.
+	dir := t.TempDir()
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, SpecName)); err == nil {
+			t.Skipf("ancestor %s carries %s", d, SpecName)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	if _, err := Find(dir); err == nil || !strings.Contains(err.Error(), "no ARCH.layers found") {
+		t.Errorf("Find = %v, want no-spec error", err)
+	}
+}

@@ -1,0 +1,4 @@
+package leaf
+
+// N is exported so dependents have something to use.
+const N = 1

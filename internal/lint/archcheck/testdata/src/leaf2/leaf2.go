@@ -1,0 +1,7 @@
+package leaf2
+
+import (
+	"leaf" // want `import of leaf: leaf2 and leaf are both in layer "base" \(same-layer imports are forbidden`
+)
+
+const M = leaf.N + 1

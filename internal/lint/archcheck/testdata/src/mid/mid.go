@@ -1,0 +1,9 @@
+package mid
+
+import (
+	"leaf" // ok: mid allows base
+
+	_ "peer" // want `import of peer: layer "mid" must not import upward into layer "top"`
+)
+
+const M = leaf.N + 1

@@ -1,0 +1,4 @@
+package peer
+
+// P is exported so dependents have something to use.
+const P = 7

@@ -1,0 +1,13 @@
+package top
+
+import (
+	_ "mid" // ok: top allows mid
+
+	_ "leaf" // want `import of leaf: layer "top" does not allow imports from layer "base"`
+	_ "peer" // want `import of peer: top and peer are both in layer "top"`
+
+	_ "unassigned" // want `import of unassigned: package is not assigned to any layer`
+
+	//lint:ignore insanevet/archcheck fixture: granted waiver, suppression must hold
+	_ "leaf2"
+)

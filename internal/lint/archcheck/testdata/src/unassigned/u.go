@@ -1,0 +1,4 @@
+package unassigned // want `package unassigned is not assigned to any layer`
+
+// U is exported so dependents have something to use.
+const U = 3

@@ -1,0 +1,34 @@
+// Package badannot carries the annotation-position diagnostics: the
+// messages land on the //insane:bounded comments themselves, where a
+// trailing `// want` comment would be swallowed into the annotation
+// text, so this fixture is driven by hand rather than by analysistest.
+package badannot
+
+const cap4 = 4
+
+// redundant annotates a loop the analyzer proves anyway.
+//
+//insane:hotpath
+func redundant() {
+	//insane:bounded by=not actually needed
+	for i := 0; i < cap4; i++ {
+		_ = i
+	}
+}
+
+//insane:bounded by=this floats above a declaration, not a loop
+var floating = 1
+
+//insane:hotpath
+func missingBy(pkts []int) {
+	//insane:bounded
+	for range pkts {
+	}
+}
+
+//insane:hotpath
+func wrongOption(pkts []int) {
+	//insane:bounded cap=8
+	for range pkts {
+	}
+}

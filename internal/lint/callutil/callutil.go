@@ -1,0 +1,57 @@
+// Package callutil holds the call-graph helpers shared by the
+// whole-program analyzers (hotpathcheck, goroutinecheck, boundedcheck):
+// resolving the static target of a call expression and rendering
+// function names for diagnostics. Each analyzer used to carry its own
+// copy; the archcheck layering fence forbids one rule importing a
+// sibling rule, so the shared code lives here, in the lint base layer.
+package callutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StaticCallee resolves the *types.Func a call statically targets, or
+// nil for calls through func values.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap explicit generic instantiation: f[T](...).
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil // field of func type: dynamic
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified function
+		}
+	}
+	return nil
+}
+
+// FuncName renders a function or method compactly: pkg.Fn, (T).M or
+// (*pkg.T).M, with package qualifiers relative to the reporting pass.
+func FuncName(fn *types.Func, qual types.Qualifier) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), qual) + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		if q := qual(fn.Pkg()); q != "" {
+			return q + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

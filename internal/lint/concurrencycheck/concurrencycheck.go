@@ -55,6 +55,7 @@ import (
 	"strings"
 
 	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/callutil"
 	"github.com/insane-mw/insane/internal/lint/directive"
 )
 
@@ -223,13 +224,13 @@ func checkGo(pass *analysis.Pass, gidx *directive.GoroutineIndex, gs *ast.GoStmt
 	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
 		direct = summarize(pass, lit.Body)
 		resolved = true
-	} else if callee := staticCallee(pass.TypesInfo, gs.Call); callee != nil {
+	} else if callee := callutil.StaticCallee(pass.TypesInfo, gs.Call); callee != nil {
 		origin := callee.Origin()
 		var sum GoSummary
 		switch {
 		case pass.ImportObjectFact(origin, &sum):
 			direct = &sum
-			directName = funcName(origin, qual)
+			directName = callutil.FuncName(origin, qual)
 			resolved = true
 		default:
 			if m, ok := foreverFuncs[origin.FullName()]; ok {
@@ -239,7 +240,7 @@ func checkGo(pass *analysis.Pass, gidx *directive.GoroutineIndex, gs *ast.GoStmt
 				// Other library functions are assumed to terminate.
 				direct = &GoSummary{}
 			}
-			directName = funcName(origin, qual)
+			directName = callutil.FuncName(origin, qual)
 			resolved = true
 		}
 	}
@@ -315,7 +316,7 @@ func checkGo(pass *analysis.Pass, gidx *directive.GoroutineIndex, gs *ast.GoStmt
 				continue
 			}
 			if !l.HasExit {
-				hard = append(hard, fmt.Sprintf("%s reaches %s, which loops forever with no exit: %s", directName, funcName(fn, qual), chainText(directName, fn, parent, qual)))
+				hard = append(hard, fmt.Sprintf("%s reaches %s, which loops forever with no exit: %s", directName, callutil.FuncName(fn, qual), chainText(directName, fn, parent, qual)))
 			}
 		}
 		for _, fc := range sum.Forever {
@@ -440,25 +441,10 @@ func mechList(mechs []Mech) string {
 func chainText(start string, fn *types.Func, parent map[*types.Func]*types.Func, qual types.Qualifier) string {
 	var chain []string
 	for f := fn; f != nil; f = parent[f] {
-		chain = append(chain, funcName(f, qual))
+		chain = append(chain, callutil.FuncName(f, qual))
 	}
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 		chain[i], chain[j] = chain[j], chain[i]
 	}
 	return start + " -> " + strings.Join(chain, " -> ")
-}
-
-// funcName renders a function or method compactly: pkg.Fn, (T).M or
-// (*pkg.T).M, with package qualifiers relative to the reporting pass.
-func funcName(fn *types.Func, qual types.Qualifier) string {
-	sig, _ := fn.Type().(*types.Signature)
-	if sig != nil && sig.Recv() != nil {
-		return "(" + types.TypeString(sig.Recv().Type(), qual) + ")." + fn.Name()
-	}
-	if fn.Pkg() != nil {
-		if q := qual(fn.Pkg()); q != "" {
-			return q + "." + fn.Name()
-		}
-	}
-	return fn.Name()
 }

@@ -6,6 +6,7 @@ import (
 	"go/types"
 
 	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/callutil"
 )
 
 // summarize builds the GoSummary of one function body: its loops with
@@ -88,7 +89,7 @@ func (s *goScanner) call(call *ast.CallExpr) {
 		return
 	}
 
-	callee := staticCallee(info, call)
+	callee := callutil.StaticCallee(info, call)
 	if callee == nil {
 		return
 	}
@@ -401,43 +402,13 @@ func isTerminalCall(info *types.Info, e ast.Expr) bool {
 			return b.Name() == "panic"
 		}
 	}
-	if fn := staticCallee(info, call); fn != nil {
+	if fn := callutil.StaticCallee(info, call); fn != nil {
 		switch fn.FullName() {
 		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
 			return true
 		}
 	}
 	return false
-}
-
-// staticCallee resolves the *types.Func a call statically targets, or
-// nil for calls through func values.
-func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
-	fun := ast.Unparen(call.Fun)
-	// Unwrap explicit generic instantiation: f[T](...).
-	switch ix := fun.(type) {
-	case *ast.IndexExpr:
-		fun = ast.Unparen(ix.X)
-	case *ast.IndexListExpr:
-		fun = ast.Unparen(ix.X)
-	}
-	switch fun := fun.(type) {
-	case *ast.Ident:
-		if f, ok := info.Uses[fun].(*types.Func); ok {
-			return f
-		}
-	case *ast.SelectorExpr:
-		if sel, ok := info.Selections[fun]; ok {
-			if f, ok := sel.Obj().(*types.Func); ok {
-				return f
-			}
-			return nil // field of func type: dynamic
-		}
-		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
-			return f // package-qualified function
-		}
-	}
-	return nil
 }
 
 // foreverFuncs are library functions that run until an associated

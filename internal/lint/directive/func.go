@@ -1,0 +1,211 @@
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //insane:* markers shared by the hot-path analyzers. hotpathcheck
+// and boundedcheck both root their traversals at //insane:hotpath
+// functions and stop at //insane:coldpath barriers, so the parsing
+// lives here rather than in either analyzer.
+const (
+	// HotMarker declares a hot-path root (on a function declaration) or
+	// a trusted boundary (on an interface method).
+	HotMarker = "//insane:hotpath"
+	// ColdMarker excludes a control-plane function from hot-path
+	// traversal; a reason is mandatory.
+	ColdMarker = "//insane:coldpath"
+)
+
+// FuncDirectives is the parse result of the //insane:hotpath and
+// //insane:coldpath markers on one function declaration.
+type FuncDirectives struct {
+	// Hot marks an //insane:hotpath root.
+	Hot bool
+	// AllowBlock is the allow=block option: the root may block
+	// (Consume-style waits) but must still not allocate.
+	AllowBlock bool
+	// Cold marks an //insane:coldpath traversal barrier.
+	Cold bool
+}
+
+// Problem is one malformed directive found while parsing, for the
+// analyzer that owns reporting it (hotpathcheck, so the same mistake is
+// not reported once per analyzer that shares the parse).
+type Problem struct {
+	Pos token.Pos
+	Msg string
+}
+
+// ParseFuncDecl extracts the insane: markers from a declaration's doc
+// comment group, returning malformed ones as problems.
+func ParseFuncDecl(doc *ast.CommentGroup) (FuncDirectives, []Problem) {
+	var d FuncDirectives
+	var probs []Problem
+	if doc == nil {
+		return d, nil
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case text == HotMarker:
+			d.Hot = true
+		case strings.HasPrefix(text, HotMarker+" "):
+			d.Hot = true
+			for _, opt := range strings.Fields(text[len(HotMarker):]) {
+				if opt == "allow=block" {
+					d.AllowBlock = true
+				} else {
+					probs = append(probs, Problem{
+						Pos: c.Pos(),
+						Msg: "unknown " + HotMarker + " option \"" + opt + "\" (only allow=block is recognized)",
+					})
+				}
+			}
+		case text == ColdMarker:
+			probs = append(probs, Problem{Pos: c.Pos(), Msg: ColdMarker + " directive missing a reason"})
+			d.Cold = true
+		case strings.HasPrefix(text, ColdMarker+" "):
+			d.Cold = true
+		}
+	}
+	return d, probs
+}
+
+// HasMarker reports whether a comment group carries the directive,
+// bare or with options.
+func HasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// boundedMarker vouches for a loop the boundedcheck analyzer cannot
+// prove work-bounded:
+//
+//	//insane:bounded by=<reason>
+//
+// placed on the line of a for/range statement or on the line above it.
+// The reason is free text and mandatory: every waived loop documents
+// what actually bounds it (a validated config list, a caller-sized
+// batch buffer, a CAS retry that only loses to concurrent progress).
+const boundedMarker = "//insane:bounded"
+
+// Bounded is one parsed //insane:bounded annotation.
+type Bounded struct {
+	// By is the documented bound (the value of by=, the rest of the
+	// line, spaces included).
+	By string
+	// File and Line locate the annotation.
+	File string
+	Line int
+	// Pos is the annotation's position.
+	Pos token.Pos
+	// Malformed is set when the annotation was recognized but cannot
+	// vouch for anything (missing by= or empty reason).
+	Malformed string
+}
+
+// ParseBounded interprets one comment as a bounded annotation.
+func ParseBounded(text string) (Bounded, bool) {
+	text = strings.TrimSpace(text)
+	if text != boundedMarker && !strings.HasPrefix(text, boundedMarker+" ") {
+		return Bounded{}, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, boundedMarker))
+	if rest == "" {
+		return Bounded{Malformed: "missing by=<reason>"}, true
+	}
+	reason, ok := strings.CutPrefix(rest, "by=")
+	switch {
+	case !ok:
+		return Bounded{Malformed: "option " + strings.Fields(rest)[0] + " is not by=<reason>"}, true
+	case strings.TrimSpace(reason) == "":
+		return Bounded{Malformed: "empty reason after by="}, true
+	}
+	return Bounded{By: strings.TrimSpace(reason)}, true
+}
+
+// BoundedAnnotations extracts every //insane:bounded annotation from
+// the files, malformed ones included.
+func BoundedAnnotations(fset *token.FileSet, files []*ast.File) []Bounded {
+	var out []Bounded
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				b, ok := ParseBounded(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				b.File = pos.Filename
+				b.Line = pos.Line
+				b.Pos = c.Pos()
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// BoundedIndex answers per-line lookups of //insane:bounded annotations
+// for one package.
+type BoundedIndex struct {
+	byLine map[string]map[int]Bounded
+	all    []Bounded
+	// claimed marks annotations a loop looked up, so the analyzer can
+	// surface the stray ones that annotate nothing.
+	claimed map[token.Pos]bool
+}
+
+// NewBoundedIndex builds a BoundedIndex from the package's files.
+func NewBoundedIndex(fset *token.FileSet, files []*ast.File) *BoundedIndex {
+	idx := &BoundedIndex{
+		byLine:  make(map[string]map[int]Bounded),
+		claimed: make(map[token.Pos]bool),
+	}
+	for _, b := range BoundedAnnotations(fset, files) {
+		idx.all = append(idx.all, b)
+		lines := idx.byLine[b.File]
+		if lines == nil {
+			lines = make(map[int]Bounded)
+			idx.byLine[b.File] = lines
+		}
+		// An annotation covers its own line (trailing comment) and the
+		// next line (comment-above style), like //lint:ignore.
+		lines[b.Line] = b
+		lines[b.Line+1] = b
+	}
+	return idx
+}
+
+// At returns the annotation covering pos, marking it claimed.
+func (idx *BoundedIndex) At(pos token.Position) (Bounded, bool) {
+	b, ok := idx.byLine[pos.Filename][pos.Line]
+	if ok {
+		idx.claimed[b.Pos] = true
+	}
+	return b, ok
+}
+
+// Unclaimed returns the annotations no loop looked up — an annotation
+// that drifted away from its statement vouches for nothing and should
+// be surfaced rather than silently ignored.
+func (idx *BoundedIndex) Unclaimed() []Bounded {
+	var out []Bounded
+	for _, b := range idx.all {
+		if !idx.claimed[b.Pos] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

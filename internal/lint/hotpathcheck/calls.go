@@ -3,6 +3,8 @@ package hotpathcheck
 import (
 	"go/ast"
 	"go/types"
+
+	"github.com/insane-mw/insane/internal/lint/callutil"
 )
 
 // visitCall classifies one call expression: conversion, builtin,
@@ -46,7 +48,7 @@ func (s *scanner) visitCall(call *ast.CallExpr) {
 		}
 	}
 
-	callee := staticCallee(info, call)
+	callee := callutil.StaticCallee(info, call)
 	if callee == nil {
 		s.flag(call.Pos(), SevUnknown, "dynamic call "+exprText(call)+" cannot be proven allocation-free")
 		return
@@ -135,36 +137,6 @@ func (s *scanner) boxedArgs(call *ast.CallExpr) {
 	}
 }
 
-// staticCallee resolves the *types.Func a call statically targets, or
-// nil for calls through func values.
-func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
-	fun := ast.Unparen(call.Fun)
-	// Unwrap explicit generic instantiation: f[T](...).
-	switch ix := fun.(type) {
-	case *ast.IndexExpr:
-		fun = ast.Unparen(ix.X)
-	case *ast.IndexListExpr:
-		fun = ast.Unparen(ix.X)
-	}
-	switch fun := fun.(type) {
-	case *ast.Ident:
-		if f, ok := info.Uses[fun].(*types.Func); ok {
-			return f
-		}
-	case *ast.SelectorExpr:
-		if sel, ok := info.Selections[fun]; ok {
-			if f, ok := sel.Obj().(*types.Func); ok {
-				return f
-			}
-			return nil // field of func type: dynamic
-		}
-		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
-			return f // package-qualified function
-		}
-	}
-	return nil
-}
-
 // isSliceType reports whether t's underlying type is a slice.
 func isSliceType(t types.Type) bool {
 	if t == nil {
@@ -204,9 +176,9 @@ var allowFuncs = map[string]bool{
 	"(*sync.Cond).Signal":     true,
 	"(*sync.Cond).Broadcast":  true,
 
-	"time.Now":   true, // timebasecheck governs who may call it
-	"time.Since": true,
-	"time.Until": true,
+	"time.Now":                     true, // timebasecheck governs who may call it
+	"time.Since":                   true,
+	"time.Until":                   true,
 	"(time.Time).Sub":              true,
 	"(time.Time).Add":              true,
 	"(time.Time).Before":           true,

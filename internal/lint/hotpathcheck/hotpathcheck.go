@@ -60,6 +60,7 @@ import (
 	"strings"
 
 	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/callutil"
 	"github.com/insane-mw/insane/internal/lint/directive"
 )
 
@@ -112,12 +113,6 @@ var Analyzer = &analysis.Analyzer{
 	FactTypes: []analysis.Fact{(*Summary)(nil)},
 }
 
-// directive spellings recognized on declarations.
-const (
-	hotMarker  = "//insane:hotpath"
-	coldMarker = "//insane:coldpath"
-)
-
 // root is one //insane:hotpath entry point found in the package.
 type root struct {
 	fn         *types.Func
@@ -142,7 +137,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 				if len(field.Names) == 0 {
 					continue // embedded interface
 				}
-				if !hasMarker(field.Doc, hotMarker) && !hasMarker(field.Comment, hotMarker) {
+				if !directive.HasMarker(field.Doc, directive.HotMarker) && !directive.HasMarker(field.Comment, directive.HotMarker) {
 					continue
 				}
 				for _, name := range field.Names {
@@ -167,14 +162,17 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if !ok {
 				continue
 			}
-			d := parseDecl(pass, fd.Doc)
-			sum := &Summary{Cold: d.cold}
-			if !d.cold && fd.Body != nil {
+			d, probs := directive.ParseFuncDecl(fd.Doc)
+			for _, p := range probs {
+				pass.Reportf(p.Pos, "%s", p.Msg)
+			}
+			sum := &Summary{Cold: d.Cold}
+			if !d.Cold && fd.Body != nil {
 				sum.Ops, sum.Calls = scanBody(pass, idx, fd)
 			}
 			pass.ExportObjectFact(fn, sum)
-			if d.hot {
-				roots = append(roots, root{fn: fn, allowBlock: d.allowBlock})
+			if d.Hot {
+				roots = append(roots, root{fn: fn, allowBlock: d.AllowBlock})
 			}
 		}
 	}
@@ -223,67 +221,15 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
-// declDirectives is the parse result of a function's doc comments.
-type declDirectives struct {
-	hot        bool
-	allowBlock bool
-	cold       bool
-}
-
-// parseDecl extracts the insane: directives from a declaration's doc
-// comment group, reporting malformed ones.
-func parseDecl(pass *analysis.Pass, doc *ast.CommentGroup) declDirectives {
-	var d declDirectives
-	if doc == nil {
-		return d
-	}
-	for _, c := range doc.List {
-		text := strings.TrimSpace(c.Text)
-		switch {
-		case text == hotMarker:
-			d.hot = true
-		case strings.HasPrefix(text, hotMarker+" "):
-			d.hot = true
-			for _, opt := range strings.Fields(text[len(hotMarker):]) {
-				if opt == "allow=block" {
-					d.allowBlock = true
-				} else {
-					pass.Reportf(c.Pos(), "unknown //insane:hotpath option %q (only allow=block is recognized)", opt)
-				}
-			}
-		case text == coldMarker:
-			pass.Reportf(c.Pos(), "//insane:coldpath directive missing a reason")
-			d.cold = true
-		case strings.HasPrefix(text, coldMarker+" "):
-			d.cold = true
-		}
-	}
-	return d
-}
-
-// hasMarker reports whether a comment group carries the directive.
-func hasMarker(cg *ast.CommentGroup, marker string) bool {
-	if cg == nil {
-		return false
-	}
-	for _, c := range cg.List {
-		text := strings.TrimSpace(c.Text)
-		if text == marker || strings.HasPrefix(text, marker+" ") {
-			return true
-		}
-	}
-	return false
-}
-
 // chainSuffix renders the call chain from root to the function holding
 // the op, for the diagnostic message.
 func chainSuffix(rootFn, fn *types.Func, parent map[*types.Func]*types.Func, qual types.Qualifier) string {
 	if fn == rootFn {
-		return " in hot-path root " + funcName(rootFn, qual)
+		return " in hot-path root " + callutil.FuncName(rootFn, qual)
 	}
 	var chain []string
 	for f := fn; f != nil; f = parent[f] {
-		chain = append(chain, funcName(f, qual))
+		chain = append(chain, callutil.FuncName(f, qual))
 		if f == rootFn {
 			break
 		}
@@ -292,20 +238,5 @@ func chainSuffix(rootFn, fn *types.Func, parent map[*types.Func]*types.Func, qua
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 		chain[i], chain[j] = chain[j], chain[i]
 	}
-	return fmt.Sprintf(" reachable from hot-path root %s: %s", funcName(rootFn, qual), strings.Join(chain, " -> "))
-}
-
-// funcName renders a function or method compactly: pkg.Fn, (T).M or
-// (*pkg.T).M, with package qualifiers relative to the reporting pass.
-func funcName(fn *types.Func, qual types.Qualifier) string {
-	sig, _ := fn.Type().(*types.Signature)
-	if sig != nil && sig.Recv() != nil {
-		return "(" + types.TypeString(sig.Recv().Type(), qual) + ")." + fn.Name()
-	}
-	if fn.Pkg() != nil {
-		if q := qual(fn.Pkg()); q != "" {
-			return q + "." + fn.Name()
-		}
-	}
-	return fn.Name()
+	return fmt.Sprintf(" reachable from hot-path root %s: %s", callutil.FuncName(rootFn, qual), strings.Join(chain, " -> "))
 }

@@ -20,6 +20,12 @@
 //	                  a verified //insane:goroutine owner/stop annotation
 //	syncmisuse      — no double close, send after close, or WaitGroup
 //	                  paths that race or miss Done
+//	archcheck       — imports respect the layering declared in
+//	                  ARCH.layers: no upward, same-layer or unlisted
+//	                  cross-layer edges (DESIGN.md §10)
+//	boundedcheck    — every loop reachable from an //insane:hotpath root
+//	                  is provably bounded or carries a verified
+//	                  //insane:bounded annotation (§7 per-packet cost)
 //
 // Analyzers that declare FactTypes are whole-program: Run applies them
 // over the full in-module dependency closure of the requested
@@ -34,7 +40,9 @@ import (
 	"sort"
 
 	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/archcheck"
 	"github.com/insane-mw/insane/internal/lint/atomicfield"
+	"github.com/insane-mw/insane/internal/lint/boundedcheck"
 	"github.com/insane-mw/insane/internal/lint/bufownership"
 	"github.com/insane-mw/insane/internal/lint/concurrencycheck"
 	"github.com/insane-mw/insane/internal/lint/directive"
@@ -56,6 +64,8 @@ func Analyzers() []*analysis.Analyzer {
 		sentinelcompare.Analyzer,
 		concurrencycheck.Goroutine,
 		concurrencycheck.Sync,
+		archcheck.Analyzer,
+		boundedcheck.Analyzer,
 	}
 }
 

@@ -13,8 +13,8 @@ import (
 // TestRepositoryIsClean runs the full insanevet suite over the whole
 // module, exactly as `make lint` does: the tree must stay free of
 // ownership, lock-order, atomicity, timebase, hot-path,
-// sentinel-comparison, goroutine-lifecycle and sync-misuse violations
-// (or carry explicit //lint:ignore directives). It also asserts the
+// sentinel-comparison, goroutine-lifecycle, sync-misuse, layering and
+// work-bound violations (or carry explicit //lint:ignore directives). It also asserts the
 // whole-program analyzers really covered the module's dependency
 // closure — a suite that silently analyzed nothing would pass
 // otherwise.
@@ -44,7 +44,7 @@ func TestRepositoryIsClean(t *testing.T) {
 	if info.ClosurePackages < 30 {
 		t.Errorf("whole-program closure covered only %d packages (want >= 30)", info.ClosurePackages)
 	}
-	for _, name := range []string{"goroutinecheck", "lockorder", "hotpathcheck"} {
+	for _, name := range []string{"goroutinecheck", "lockorder", "hotpathcheck", "archcheck", "boundedcheck"} {
 		if n := info.WholeProgram[name]; n < 30 {
 			t.Errorf("whole-program analyzer %s ran over %d packages (want >= 30)", name, n)
 		}
@@ -91,5 +91,40 @@ func TestHotPathIsProven(t *testing.T) {
 	}
 	if roots < 20 {
 		t.Errorf("only %d //insane:hotpath annotations in the tree; the proof's root set has shrunk (want >= 20)", roots)
+	}
+}
+
+// TestWorkBoundWaiversAreAlive asserts the //insane:bounded waiver set
+// has not silently shrunk: boundedcheck verifies each one (malformed,
+// unattached or redundant annotations are findings), so a healthy count
+// here means the runtime's unprovable loops all carry live, checked
+// justifications rather than having been deleted along with their
+// loops' proofs.
+func TestWorkBoundWaiversAreAlive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parses the entire module")
+	}
+	ldr, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ldr.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waivers := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.HasPrefix(strings.TrimSpace(c.Text), "//insane:bounded ") {
+						waivers++
+					}
+				}
+			}
+		}
+	}
+	if waivers < 20 {
+		t.Errorf("only %d //insane:bounded annotations in the tree; the work-bound waiver set has shrunk (want >= 20)", waivers)
 	}
 }

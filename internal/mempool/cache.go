@@ -120,10 +120,12 @@ func (c *Cache[T]) Put(v T) {
 		moved = c.pool.shared.PushBatch(c.local[kept:])
 	}
 	var zero T
+	//insane:bounded by=len(c.local) <= cap(c.local), fixed at pool construction
 	for i := kept + moved; i < len(c.local); i++ {
 		c.drops.Add(1) // shared ring full too: drop to the GC
 		c.local[i] = zero
 	}
+	//insane:bounded by=moved <= len(c.local) <= cap(c.local), fixed at pool construction
 	for i := kept; i < kept+moved; i++ {
 		c.local[i] = zero
 	}

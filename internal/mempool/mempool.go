@@ -172,6 +172,7 @@ func NewManager(cfg Config) (*Manager, error) {
 //
 //insane:hotpath
 func (m *Manager) Get(size int, owner Owner) (SlotID, []byte, error) {
+	//insane:bounded by=one entry per slot-size class, fixed at manager construction
 	for pi, p := range m.pools {
 		if size > p.slotSize {
 			continue
@@ -233,6 +234,7 @@ func (m *Manager) AddRef(id SlotID, n int) error {
 		return err
 	}
 	st := &p.states[idx]
+	//insane:bounded by=lock-free CAS retry: a failed swap means another referencer made progress
 	for {
 		cur := st.refs.Load()
 		if cur <= 0 {
@@ -268,7 +270,7 @@ func (m *Manager) Release(id SlotID) error {
 		if !p.free.TryPush(uint32(idx)) {
 			// Cannot happen: ring capacity equals slot count.
 			//lint:ignore insanevet/hotpathcheck cold error path, never taken steady-state
-				return fmt.Errorf("mempool: free ring overflow for %v", id)
+			return fmt.Errorf("mempool: free ring overflow for %v", id)
 		}
 	}
 	return nil

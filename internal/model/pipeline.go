@@ -66,6 +66,12 @@ func (s System) Batching() bool {
 // DPDK conventional burst of 32 descriptors.
 const DefaultBurst = 32
 
+// MaxBurst caps any configured burst size. The runtime clamps
+// Config.Burst against it, so every per-pass batch loop in the poller
+// has a hard compile-time bound (the //insane:bounded waivers in
+// internal/core cite this constant).
+const MaxBurst = 512
+
 // FrameOverhead is the Ethernet+IPv4+UDP encapsulation added to every
 // payload (netstack.HeadersLen; duplicated here to keep model a leaf
 // package).

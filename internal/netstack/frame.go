@@ -160,12 +160,14 @@ func DecodeUDP(frame []byte) (FrameMeta, []byte, error) {
 // Computing it over a header whose checksum field is filled yields zero.
 func internetChecksum(b []byte) uint16 {
 	var sum uint32
+	//insane:bounded by=b is one frame's header or payload, <= the MTU
 	for i := 0; i+1 < len(b); i += 2 {
 		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
 	}
 	if len(b)%2 == 1 {
 		sum += uint32(b[len(b)-1]) << 8
 	}
+	//insane:bounded by=folding the 32-bit sum into 16 bits converges in at most two iterations
 	for sum>>16 != 0 {
 		sum = (sum & 0xffff) + sum>>16
 	}

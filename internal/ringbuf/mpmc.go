@@ -53,6 +53,7 @@ func NewMPMC[T any](capacity int) (*MPMC[T], error) {
 //insane:hotpath
 func (q *MPMC[T]) TryPush(v T) bool {
 	pos := q.tail.Load()
+	//insane:bounded by=lock-free CAS retry: a failed claim means another producer made progress
 	for {
 		cell := &q.cells[pos&q.mask]
 		seq := cell.seq.Load()
@@ -81,6 +82,7 @@ func (q *MPMC[T]) TryPush(v T) bool {
 func (q *MPMC[T]) TryPop() (T, bool) {
 	var zero T
 	pos := q.head.Load()
+	//insane:bounded by=lock-free CAS retry: a failed claim means another consumer made progress
 	for {
 		cell := &q.cells[pos&q.mask]
 		seq := cell.seq.Load()
@@ -118,6 +120,7 @@ func (q *MPMC[T]) PushBatch(src []T) int {
 	if len(src) == 0 {
 		return 0
 	}
+	//insane:bounded by=lock-free CAS retry: a failed claim means another producer made progress
 	for {
 		pos := q.tail.Load()
 		// Count the run of free cells at pos. Cell states only move
@@ -125,6 +128,7 @@ func (q *MPMC[T]) PushBatch(src []T) int {
 		// can claim these positions before our tail CAS succeeds, so an
 		// observed free cell stays free until we own it.
 		n := uint64(0)
+		//insane:bounded by=n <= len(src), the caller's batch buffer
 		for n < uint64(len(src)) {
 			cell := &q.cells[(pos+n)&q.mask]
 			if cell.seq.Load() != pos+n {
@@ -143,6 +147,7 @@ func (q *MPMC[T]) PushBatch(src []T) int {
 		if !q.tail.CompareAndSwap(pos, pos+n) {
 			continue // lost the claim race; retry with fresh tail
 		}
+		//insane:bounded by=n <= len(src), the caller's batch buffer
 		for i := uint64(0); i < n; i++ {
 			cell := &q.cells[(pos+i)&q.mask]
 			cell.val = src[i]
@@ -165,9 +170,11 @@ func (q *MPMC[T]) PopBatch(dst []T) int {
 	if len(dst) == 0 {
 		return 0
 	}
+	//insane:bounded by=lock-free CAS retry: a failed claim means another consumer made progress
 	for {
 		pos := q.head.Load()
 		n := uint64(0)
+		//insane:bounded by=n <= len(dst), the caller's batch buffer
 		for n < uint64(len(dst)) {
 			cell := &q.cells[(pos+n)&q.mask]
 			if cell.seq.Load() != pos+n+1 {
@@ -184,6 +191,7 @@ func (q *MPMC[T]) PopBatch(dst []T) int {
 		if !q.head.CompareAndSwap(pos, pos+n) {
 			continue
 		}
+		//insane:bounded by=n <= len(dst), the caller's batch buffer
 		for i := uint64(0); i < n; i++ {
 			cell := &q.cells[(pos+i)&q.mask]
 			dst[i] = cell.val

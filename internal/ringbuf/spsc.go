@@ -91,6 +91,7 @@ func (r *SPSC[T]) PopBatch(dst []T) int {
 	if avail < n {
 		n = avail
 	}
+	//insane:bounded by=n <= len(dst), the caller's batch buffer
 	for i := uint64(0); i < n; i++ {
 		idx := (head + i) & r.mask
 		dst[i] = r.buf[idx]

@@ -66,6 +66,7 @@ func (f *FIFO) Enqueue(p *datapath.Packet, _ timebase.VTime) { f.q = append(f.q,
 func (f *FIFO) Dequeue(dst []*datapath.Packet, _ timebase.VTime) int {
 	n := copy(dst, f.q)
 	remaining := copy(f.q, f.q[n:])
+	//insane:bounded by=zeroes the n entries just popped, n <= len(dst) (the caller's burst)
 	for i := remaining; i < len(f.q); i++ {
 		f.q[i] = nil
 	}
@@ -174,6 +175,7 @@ func (t *TAS) Enqueue(p *datapath.Packet, now timebase.VTime) {
 // gatesAt returns the open-gate mask at virtual time now.
 func (t *TAS) gatesAt(now timebase.VTime) uint8 {
 	pos := time.Duration(now) % t.cycle
+	//insane:bounded by=one entry per gate-control-list slot, fixed at scheduler construction
 	for _, e := range t.gcl {
 		if pos < e.Duration {
 			return e.Gates
@@ -204,6 +206,7 @@ func (t *TAS) Dequeue(dst []*datapath.Packet, now timebase.VTime) int {
 		if take > len(dst)-n {
 			take = len(dst) - n
 		}
+		//insane:bounded by=take <= len(dst)-n, the caller's burst buffer
 		for i := 0; i < take; i++ {
 			e := q[i]
 			if wait := now.Sub(e.at); wait > 0 {
@@ -214,6 +217,7 @@ func (t *TAS) Dequeue(dst []*datapath.Packet, now timebase.VTime) int {
 			n++
 		}
 		remaining := copy(q, q[take:])
+		//insane:bounded by=zeroes the take entries just popped, take <= len(dst) (the caller's burst)
 		for i := remaining; i < len(q); i++ {
 			q[i] = tasEntry{}
 		}
