@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet lint lint-hotpath lint-concurrency lint-arch lint-bounded bench bench-baseline metrics-smoke experiments demo examples loc help
+.PHONY: all test race vet lint lint-hotpath lint-concurrency lint-arch lint-bounded bench bench-baseline bench-compare metrics-smoke experiments demo examples loc help
 
 all: vet test lint ## vet + test + lint (the CI gate)
 
@@ -38,6 +38,9 @@ bench: ## run every benchmark
 
 bench-baseline: ## measure the hot-path suite and refresh BENCH_hotpath.json
 	$(GO) run ./cmd/insane-bench -hotpath BENCH_hotpath.json
+
+bench-compare: ## re-measure the hot-path suite; fail on >10% ns/op or any allocs/op regression
+	$(GO) run ./cmd/insane-bench -compare BENCH_hotpath.json
 
 metrics-smoke: ## boot a 2-node cluster, scrape /metrics, check the required series
 	$(GO) run ./cmd/insane-info -metrics > /tmp/insane_metrics.prom

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -19,37 +20,86 @@ import (
 // steady state.
 const hotpathWarmup = 500
 
-// runHotpath measures the hot-path suite and writes the JSON baseline.
-func runHotpath(path string, iters int) error {
-	specs := []struct {
-		name  string
-		size  int
-		sinks int
-	}{
-		{name: "emit-consume-local/64B", size: 64, sinks: 1},
-		{name: "emit-consume-local/4KB", size: 4096, sinks: 1},
-		{name: "emit-consume-fanout/64B-4sinks", size: 64, sinks: 4},
-	}
-	results := make([]bench.HotpathResult, 0, len(specs))
-	for _, spec := range specs {
-		res, err := measureEmitConsume(spec.name, spec.size, spec.sinks, iters)
+// hotpathSpecs is the measured suite: the queued path at two payload
+// sizes and a fanout, plus run-to-completion variants of each (the
+// 4-sink fanout sits exactly at the RTC admission limit, so it measures
+// the fast path's worst admitted case).
+var hotpathSpecs = []struct {
+	name  string
+	size  int
+	sinks int
+	rtc   bool
+}{
+	{name: "emit-consume-local/64B", size: 64, sinks: 1},
+	{name: "emit-consume-local/4KB", size: 4096, sinks: 1},
+	{name: "emit-consume-fanout/64B-4sinks", size: 64, sinks: 4},
+	{name: "emit-consume-local-rtc/64B", size: 64, sinks: 1, rtc: true},
+	{name: "emit-consume-local-rtc/4KB", size: 4096, sinks: 1, rtc: true},
+	{name: "emit-consume-fanout-rtc/64B-4sinks", size: 64, sinks: 4, rtc: true},
+}
+
+// measureHotpathSuite runs every spec and returns the results.
+func measureHotpathSuite(iters int) ([]bench.HotpathResult, error) {
+	results := make([]bench.HotpathResult, 0, len(hotpathSpecs))
+	for _, spec := range hotpathSpecs {
+		res, err := measureEmitConsume(spec.name, spec.size, spec.sinks, iters, spec.rtc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(res)
 		results = append(results, res)
 	}
-	if err := bench.WriteHotpathJSON(path, results); err != nil {
+	return results, nil
+}
+
+// runHotpath measures the hot-path and throughput suites and writes the
+// JSON baseline.
+func runHotpath(path string, iters int) error {
+	results, err := measureHotpathSuite(iters)
+	if err != nil {
+		return err
+	}
+	// Scale the throughput run with the requested precision so CI's
+	// short-iteration smoke stays short.
+	throughput, err := runThroughput(iters)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteHotpathJSON(path, results, throughput); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 
+// runCompare re-measures the hot-path suite and gates it against a
+// committed baseline: exit non-zero when any entry regresses more than
+// tolerance in ns/op or rises at all in allocs/op.
+func runCompare(path string, iters int, tolerance float64) error {
+	baseline, err := bench.ReadHotpathJSON(path)
+	if err != nil {
+		return err
+	}
+	fresh, err := measureHotpathSuite(iters)
+	if err != nil {
+		return err
+	}
+	report, failed := bench.CompareHotpath(baseline, fresh, tolerance)
+	fmt.Print(report)
+	if failed {
+		return fmt.Errorf("hot-path regression against %s (tolerance %.0f%%)", path, tolerance*100)
+	}
+	fmt.Printf("no regression against %s (tolerance %.0f%%)\n", path, tolerance*100)
+	return nil
+}
+
 // measureEmitConsume times one publish→deliver configuration on a quiet
 // kernel-only cluster (no simulated busy-poll planes), so the numbers
-// isolate the middleware's own path.
-func measureEmitConsume(name string, size, nsinks, iters int) (bench.HotpathResult, error) {
+// isolate the middleware's own path. With rtc set the stream opts into
+// the run-to-completion fast path; the measurement double-checks that
+// the fast path actually ran (zero fallbacks), so a silently degraded
+// configuration cannot masquerade as an RTC number.
+func measureEmitConsume(name string, size, nsinks, iters int, rtc bool) (bench.HotpathResult, error) {
 	cluster, err := insane.NewCluster(insane.ClusterOptions{
 		Nodes: []insane.NodeSpec{{Name: "a"}, {Name: "b"}},
 	})
@@ -62,7 +112,7 @@ func measureEmitConsume(name string, size, nsinks, iters int) (bench.HotpathResu
 		return bench.HotpathResult{}, err
 	}
 	defer sess.Close()
-	st, err := sess.CreateStream(insane.Options{})
+	st, err := sess.CreateStream(insane.Options{RunToCompletion: rtc})
 	if err != nil {
 		return bench.HotpathResult{}, err
 	}
@@ -93,10 +143,16 @@ func measureEmitConsume(name string, size, nsinks, iters int) (bench.HotpathResu
 		}
 		return nil
 	}
-	for i := 0; i < hotpathWarmup; i++ {
-		if err := op(); err != nil {
-			return bench.HotpathResult{}, fmt.Errorf("warmup: %w", err)
+	res, err := bench.MeasureHotpath(name, iters, hotpathWarmup, op)
+	if err != nil {
+		return res, err
+	}
+	if rtc {
+		s := cluster.Node("a").Stats()
+		if s.RTCDeliveries == 0 || s.RTCFallbacks > 0 {
+			return res, errors.New(name + ": run-to-completion path did not engage " +
+				fmt.Sprintf("(rtc=%d fallbacks=%d)", s.RTCDeliveries, s.RTCFallbacks))
 		}
 	}
-	return bench.MeasureHotpath(name, iters, op)
+	return res, nil
 }

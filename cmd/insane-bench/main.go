@@ -36,6 +36,9 @@ func run(args []string) error {
 		jobs       = fs.Int("jobs", 0, "messages for simulated throughput runs (0 = default)")
 		hotpath    = fs.String("hotpath", "", "measure the hot-path suite and write this JSON baseline file")
 		hotIters   = fs.Int("hotpath-iters", 20000, "iterations per hot-path measurement")
+		throughput = fs.Bool("throughput", false, "measure multi-core throughput (pollers × streams) and print packets/sec")
+		compare    = fs.String("compare", "", "re-measure the hot-path suite and fail on regression against this baseline file")
+		tolerance  = fs.Float64("compare-tolerance", 0.10, "ns/op headroom for -compare (0.10 = +10%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +46,13 @@ func run(args []string) error {
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return nil
+	}
+	if *compare != "" {
+		return runCompare(*compare, *hotIters, *tolerance)
+	}
+	if *throughput {
+		_, err := runThroughput(*hotIters)
+		return err
 	}
 	if *hotpath != "" {
 		if err := runHotpath(*hotpath, *hotIters); err != nil {

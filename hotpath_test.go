@@ -12,7 +12,9 @@ import (
 // dispatch → shared-memory delivery → Consume → Release — performs zero
 // heap allocations per message once the pools and topology snapshots are
 // warm. A regression here fails `go test ./...`, not just a human
-// reading benchstat.
+// reading benchstat. The run-to-completion subtest gates the synchronous
+// variant of the same path (Emit delivers on the calling goroutine,
+// DESIGN.md §11) at the same zero.
 //
 // testing.AllocsPerRun counts process-wide mallocs (all goroutines), so
 // an allocation smuggled into the polling threads trips the gate too.
@@ -21,6 +23,15 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; the gate measures the plain build")
 	}
+	t.Run("queued", func(t *testing.T) {
+		gateZeroAlloc(t, insane.Options{})
+	})
+	t.Run("run-to-completion", func(t *testing.T) {
+		gateZeroAlloc(t, insane.Options{RunToCompletion: true})
+	})
+}
+
+func gateZeroAlloc(t *testing.T, opts insane.Options) {
 	cluster, err := insane.NewCluster(insane.ClusterOptions{
 		Nodes: []insane.NodeSpec{{Name: "a"}, {Name: "b"}},
 	})
@@ -33,7 +44,7 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	st, err := sess.CreateStream(insane.Options{})
+	st, err := sess.CreateStream(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,8 +86,18 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	for attempt := 0; attempt < 2; attempt++ {
 		avg = testing.AllocsPerRun(200, op)
 		if avg == 0 {
-			return
+			break
 		}
 	}
-	t.Fatalf("steady-state publish path allocates: %.2f allocs/op, want 0", avg)
+	if avg != 0 {
+		t.Fatalf("steady-state publish path allocates: %.2f allocs/op, want 0", avg)
+	}
+	if opts.RunToCompletion {
+		// The gate must have measured the fast path, not a fallback.
+		s := cluster.Node("a").Stats()
+		if s.RTCDeliveries == 0 || s.RTCFallbacks != 0 {
+			t.Errorf("RTC gate: deliveries=%d fallbacks=%d, want >0/0",
+				s.RTCDeliveries, s.RTCFallbacks)
+		}
+	}
 }

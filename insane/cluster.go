@@ -288,6 +288,11 @@ type Stats struct {
 	TxMessages, RxMessages uint64
 	// LocalDeliveries counts co-located shared-memory deliveries.
 	LocalDeliveries uint64
+	// RTCDeliveries counts local deliveries made synchronously by the
+	// run-to-completion fast path (a subset of LocalDeliveries);
+	// RTCFallbacks counts emits on RTC-enabled streams that took the
+	// queued path instead.
+	RTCDeliveries, RTCFallbacks uint64
 	// DroppedNoSink counts inbound messages with no subscribed sink.
 	DroppedNoSink uint64
 	// DroppedBackpressure counts deliveries dropped on full sink rings.
@@ -304,6 +309,8 @@ func (n *Node) Stats() Stats {
 		TxMessages:          s.TxMessages,
 		RxMessages:          s.RxMessages,
 		LocalDeliveries:     s.LocalDeliveries,
+		RTCDeliveries:       s.RTCDeliveries,
+		RTCFallbacks:        s.RTCFallbacks,
 		DroppedNoSink:       s.NoSinkDrops,
 		DroppedBackpressure: s.RingFullDrops,
 		TechDowngrades:      s.TechDowngrades,

@@ -66,6 +66,10 @@ type Metrics struct {
 	SchedEnqueues, Dispatches uint64
 	// NIC and shared-memory traffic.
 	TxMessages, RxMessages, LocalDeliveries uint64
+	// Run-to-completion fast path (DESIGN.md §11): deliveries made
+	// synchronously on the emitting goroutine, and emits on RTC-enabled
+	// streams that fell back to the queued path.
+	RTCDeliveries, RTCFallbacks uint64
 	// Drop and degradation counters.
 	DroppedNoSink, DroppedBackpressure, TechDowngrades uint64
 	// Consume side.
@@ -79,6 +83,10 @@ type Metrics struct {
 	StageNetwork    LatencyStats
 	StageRecv       LatencyStats
 	StageProcessing LatencyStats
+
+	// RTCDeliver is the charged cost of a run-to-completion delivery
+	// (RTC hop plus per-sink delivery cost).
+	RTCDeliver LatencyStats
 
 	// Occupancy distributions.
 	TxRingOccupancy DistStats
@@ -129,6 +137,8 @@ func (n *Node) Metrics() Metrics {
 		TxMessages:          s.Counters[telemetry.CtrTxMessages],
 		RxMessages:          s.Counters[telemetry.CtrRxMessages],
 		LocalDeliveries:     s.Counters[telemetry.CtrLocalDeliveries],
+		RTCDeliveries:       s.Counters[telemetry.CtrRTCDeliveries],
+		RTCFallbacks:        s.Counters[telemetry.CtrRTCFallbacks],
 		DroppedNoSink:       s.Counters[telemetry.CtrNoSinkDrops],
 		DroppedBackpressure: s.Counters[telemetry.CtrRingFullDrops],
 		TechDowngrades:      s.Counters[telemetry.CtrTechDowngrades],
@@ -142,6 +152,7 @@ func (n *Node) Metrics() Metrics {
 		StageNetwork:    latencyStats(&s.Hists[telemetry.HistStageNetwork]),
 		StageRecv:       latencyStats(&s.Hists[telemetry.HistStageRecv]),
 		StageProcessing: latencyStats(&s.Hists[telemetry.HistStageProcessing]),
+		RTCDeliver:      latencyStats(&s.Hists[telemetry.HistRTCDeliver]),
 
 		TxRingOccupancy: distStats(&s.Hists[telemetry.HistTxRingOccupancy]),
 		DispatchBatch:   distStats(&s.Hists[telemetry.HistDispatchBatch]),

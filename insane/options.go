@@ -41,6 +41,16 @@ func WithTelemetry(enabled bool) Option {
 	return func(o *Options) { o.DisableTelemetry = !enabled }
 }
 
+// WithRunToCompletion opts the stream's sources into the synchronous
+// local fast path: purely local, small-fanout emits are delivered on the
+// emitting goroutine, skipping the TX ring and polling thread entirely
+// (DESIGN.md §11). Emits with remote subscribers, a wide fanout, a
+// closed TSN gate, or a full sink ring silently fall back to the queued
+// path, so enabling it never changes delivery semantics — only latency.
+func WithRunToCompletion(enabled bool) Option {
+	return func(o *Options) { o.RunToCompletion = enabled }
+}
+
 // CreateStreamOpts opens a stream from functional options; it is
 // equivalent to CreateStream with the assembled Options struct.
 func (s *Session) CreateStreamOpts(opts ...Option) (*Stream, error) {

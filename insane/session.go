@@ -61,11 +61,24 @@ type Options struct {
 	// latency histograms (Node.Metrics, /metrics); throughput counters
 	// always run. See WithTelemetry.
 	DisableTelemetry bool
+	// RunToCompletion opts the stream's sources into the synchronous
+	// local fast path (DESIGN.md §11): when every subscriber of the
+	// emitted channel is local, the fanout is small, and the stream's
+	// TSN gate (if any) is open, Emit delivers straight into the sink
+	// rings on the calling goroutine instead of queueing for a polling
+	// thread. Emits that fail a precondition silently take the queued
+	// path. Requires the application's single-goroutine-per-source emit
+	// discipline (already the Source contract). See WithRunToCompletion.
+	RunToCompletion bool
 }
 
 // toQoS converts the public options to the internal policy type.
 func (o Options) toQoS() qos.Options {
-	out := qos.Options{Class: o.Class, NoTelemetry: o.DisableTelemetry}
+	out := qos.Options{
+		Class:           o.Class,
+		NoTelemetry:     o.DisableTelemetry,
+		RunToCompletion: o.RunToCompletion,
+	}
 	if o.Mapper != nil {
 		userPick := o.Mapper
 		out.Mapper = func(inner qos.Options, caps datapath.Caps) (model.Tech, bool) {

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Old-schema files (pre env/throughput) must keep parsing: the compare
+// gate runs against committed baselines from earlier revisions.
+func TestReadHotpathJSONBackwardCompatible(t *testing.T) {
+	old := `{
+  "note": "legacy baseline",
+  "results": [
+    {"name": "emit-consume-local/64B", "iters": 20000, "ns_per_op": 2827.2, "allocs_per_op": 0.00045, "bytes_per_op": 0.04}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadHotpathJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Env != nil {
+		t.Errorf("legacy baseline Env = %+v, want nil", b.Env)
+	}
+	if len(b.Throughput) != 0 {
+		t.Errorf("legacy baseline Throughput = %v, want empty", b.Throughput)
+	}
+	if len(b.Results) != 1 || b.Results[0].NsPerOp != 2827.2 {
+		t.Errorf("legacy results = %+v", b.Results)
+	}
+}
+
+func TestWriteHotpathJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.json")
+	results := []HotpathResult{{Name: "x", Iters: 10, NsPerOp: 100}}
+	tp := []ThroughputResult{{Name: "t", Pollers: 2, Streams: 4, Packets: 8, Elapsed: 1, PacketsPerSec: 8}}
+	if err := WriteHotpathJSON(path, results, tp); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadHotpathJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Env == nil || b.Env.NumCPU <= 0 || b.Env.GoVersion == "" {
+		t.Errorf("round-trip Env = %+v, want populated", b.Env)
+	}
+	if len(b.Throughput) != 1 || b.Throughput[0].Pollers != 2 {
+		t.Errorf("round-trip Throughput = %+v", b.Throughput)
+	}
+}
+
+func TestReadHotpathJSONErrors(t *testing.T) {
+	if _, err := ReadHotpathJSON(filepath.Join(t.TempDir(), "absent.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file error = %v, want not-exist", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHotpathJSON(bad); err == nil {
+		t.Error("malformed baseline parsed without error")
+	}
+}
+
+func TestCompareHotpath(t *testing.T) {
+	baseline := HotpathBaseline{Results: []HotpathResult{
+		{Name: "fast", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "slow", NsPerOp: 2000, AllocsPerOp: 0},
+		{Name: "gone", NsPerOp: 500, AllocsPerOp: 0},
+	}}
+	fresh := []HotpathResult{
+		{Name: "fast", NsPerOp: 1050, AllocsPerOp: 0},   // within +10%
+		{Name: "slow", NsPerOp: 2500, AllocsPerOp: 0},   // +25%: regression
+		{Name: "brand-new", NsPerOp: 1, AllocsPerOp: 0}, // informational
+	}
+	report, failed := CompareHotpath(baseline, fresh, 0.10)
+	if !failed {
+		t.Fatalf("expected failure, report:\n%s", report)
+	}
+	for _, want := range []string{"ok    fast", "FAIL  slow", "NEW   brand-new", "MISS  gone"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Any allocs/op rise fails even inside the ns tolerance.
+	_, failed = CompareHotpath(baseline, []HotpathResult{
+		{Name: "fast", NsPerOp: 900, AllocsPerOp: 0.001},
+	}, 0.10)
+	if !failed {
+		t.Error("allocs/op rise not flagged")
+	}
+
+	// Identical results pass.
+	_, failed = CompareHotpath(baseline, baseline.Results, 0.10)
+	if failed {
+		t.Error("identical results flagged as regression")
+	}
+}

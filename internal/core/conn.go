@@ -12,6 +12,7 @@ import (
 	"github.com/insane-mw/insane/internal/model"
 	"github.com/insane-mw/insane/internal/qos"
 	"github.com/insane-mw/insane/internal/ringbuf"
+	"github.com/insane-mw/insane/internal/sched"
 	"github.com/insane-mw/insane/internal/telemetry"
 	"github.com/insane-mw/insane/internal/timebase"
 )
@@ -82,7 +83,7 @@ type ClientConn struct {
 	id mempool.Owner
 
 	mu      sync.Mutex
-	txRings map[model.Tech]*ringbuf.MPMC[txToken]
+	lanes   map[model.Tech]*txLane
 	streams map[uint64]*StreamHandle
 	closed  bool
 }
@@ -90,25 +91,40 @@ type ClientConn struct {
 // Owner returns the session's memory-pool owner id.
 func (c *ClientConn) Owner() mempool.Owner { return c.id }
 
-// txRing returns (creating if needed) the session's TX ring toward the
-// polling thread of the given technology.
-func (c *ClientConn) txRing(tech model.Tech) (*ringbuf.MPMC[txToken], error) {
+// lane returns (creating if needed) the session's TX lane toward the
+// polling thread of the given technology, registering the caller as one
+// more producer. The first producer on a single-poller technology gets
+// the cheap SPSC ring; a second producer promotes the lane to MPMC.
+func (c *ClientConn) lane(tech model.Tech) (*txLane, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
-	if r, ok := c.txRings[tech]; ok {
-		return r, nil
+	if l, ok := c.lanes[tech]; ok {
+		l.producers++
+		if l.producers > 1 {
+			if err := l.promoteLocked(); err != nil {
+				return nil, err
+			}
+		}
+		// Promotion adds a ring: invalidate the cached TX topology.
+		c.rt.topoEpoch.Add(1)
+		return l, nil
 	}
-	r, err := ringbuf.NewMPMC[txToken](txRingDepth)
+	// SPSC is provable only when exactly one polling thread consumes this
+	// technology (SharedPoller or the default one-poller-per-plugin
+	// mapping) and this first source stays the lane's only producer.
+	st := c.rt.techs[tech]
+	l, err := newTxLane(st != nil && st.consumers == 1)
 	if err != nil {
 		return nil, err
 	}
-	c.txRings[tech] = r
-	// New ring: invalidate the pollers' cached TX topology.
+	l.producers = 1
+	c.lanes[tech] = l
+	// New lane: invalidate the pollers' cached TX topology.
 	c.rt.topoEpoch.Add(1)
-	return r, nil
+	return l, nil
 }
 
 // OpenStream maps the quality options to a technology available on this
@@ -180,8 +196,8 @@ func (c *ClientConn) flush(timeout time.Duration) {
 	for timebase.Wall().Before(deadline) {
 		c.mu.Lock()
 		empty := true
-		for _, r := range c.txRings {
-			if r.Len() > 0 {
+		for _, l := range c.lanes {
+			if l.queued() > 0 {
 				empty = false
 				break
 			}
@@ -249,22 +265,48 @@ func (h *StreamHandle) close(detach bool) {
 }
 
 // CreateSource opens a data producer on a channel of this stream.
+//
+// A source is owned by one emitting goroutine at a time: interleaved
+// Emits from several goroutines must be externally serialized (the same
+// contract the paper's per-session queues assume, and what lets the
+// runtime elect a wait-free SPSC TX lane for single-source sessions —
+// open one source per goroutine instead of sharing one).
 func (h *StreamHandle) CreateSource(channel uint32) (*SourceHandle, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
 		return nil, ErrClosed
 	}
-	ring, err := h.conn.txRing(h.tech)
+	lane, err := h.conn.lane(h.tech)
 	if err != nil {
 		return nil, err
+	}
+	// If registering this source promoted the lane, wait for the polling
+	// thread to drain the SPSC remnant before handing the source out:
+	// push() holds producers back while the remnant is non-empty (to keep
+	// per-producer FIFO across the promotion), and absorbing that window
+	// here — a cold path — keeps it invisible to emitters. The loop is
+	// counter-bounded so a stopping runtime cannot wedge us; on timeout
+	// the first emits simply see ErrBusy, the normal backpressure signal.
+	if lane.spsc != nil && !lane.single() {
+		for i := 0; i < 2000 && lane.spsc.Len() > 0; i++ {
+			time.Sleep(50 * time.Microsecond)
+		}
 	}
 	s := &SourceHandle{
 		stream:  h,
 		channel: channel,
-		ring:    ring,
+		lane:    lane,
 		shard:   h.conn.rt.tel.AssignShard(),
 		noTel:   h.opts.NoTelemetry,
+		rtc:     h.opts.RunToCompletion,
+	}
+	if s.rtc && h.opts.Timing == qos.TimingSensitive {
+		// Cache the stream technology's time-aware shaper so the RTC
+		// admission check can test the 802.1Qbv gate lock-free.
+		if st := h.conn.rt.techs[h.tech]; st != nil {
+			s.gate = st.tas
+		}
 	}
 	h.sources = append(h.sources, s)
 	return s, nil
@@ -351,13 +393,19 @@ const outcomeWindow = 1024
 type SourceHandle struct {
 	stream  *StreamHandle
 	channel uint32
-	ring    *ringbuf.MPMC[txToken]
+	lane    *txLane
 	seq     atomic.Uint32
 	closed  atomic.Bool
 	// shard is the telemetry stripe Emit records into; assigned
 	// round-robin at creation so concurrent publishers spread out.
 	shard *telemetry.Shard
 	noTel bool
+	// rtc opts Emit into the run-to-completion fast path (DESIGN.md §11).
+	rtc bool
+	// gate is the stream technology's 802.1Qbv shaper, cached only for
+	// RTC time-sensitive sources so the admission check is one immutable
+	// read, no scheduler lock.
+	gate *sched.TAS
 
 	mu       sync.Mutex
 	outcomes [outcomeWindow]Outcome
@@ -412,6 +460,14 @@ func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 		return 0, ErrEmitRange
 	}
 	seq := s.seq.Add(1)
+	if s.rtc {
+		if s.emitRTC(b, n, seq) {
+			return seq, nil
+		}
+		// A precondition failed (remote subscriber, fanout over budget,
+		// closed TSN gate, or a full sink ring): queued path below.
+		s.shard.Inc(telemetry.CtrRTCFallbacks)
+	}
 	st := s.stream
 	encodeHeader(b.buf[headroomOffset:], header{
 		kind:    kindData,
@@ -436,7 +492,7 @@ func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 	d := s.stream.conn.rt.tb.Scale(ipc.Class, ipc.Fixed+ipc.Amort)
 	tok.vtime = tok.vtime.Add(d)
 	tok.bd.Send += d
-	if !s.ring.TryPush(tok) {
+	if !s.lane.push(tok) {
 		// Backpressure: the caller keeps buffer ownership and may retry.
 		s.shard.Inc(telemetry.CtrEmitBackpressure)
 		return 0, ErrBackpressure

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/insane-mw/insane/internal/ringbuf"
+)
+
+// Lane modes: which ring Emit pushes into. A lane starts SPSC when the
+// topology proves single-producer/single-consumer and is promoted to MPMC
+// (one-way, never demoted) the moment a second producer registers.
+const (
+	laneSPSC uint32 = iota
+	laneMPMC
+)
+
+// txLane is the per-(session,technology) token queue between Emit and the
+// technology's polling thread. The epoch-versioned TX snapshot already
+// proves which rings exist; the lane adds the producer/consumer count
+// bookkeeping that lets the runtime elect the cheaper wait-free SPSC ring
+// where exactly one source feeds exactly one poller, and fall back to the
+// Vyukov MPMC ring everywhere else (multi-source sessions, multi-poller
+// plugins). Election happens at source-creation time, so the Emit hot
+// path pays one atomic mode load, not a topology walk.
+type txLane struct {
+	// mode is laneSPSC or laneMPMC. Stored under the owning ClientConn's
+	// mu; loaded lock-free by Emit. The release store in promoteLocked
+	// orders the mpmc pointer write before the mode flip.
+	mode atomic.Uint32
+	// spsc is set iff the lane was born single-producer; it stays in
+	// place after a promotion so the poller can drain the remnant.
+	spsc *ringbuf.SPSC[txToken]
+	// mpmc is set at construction (multi-producer lanes) or at promotion.
+	// Written under the ClientConn's mu; read by producers only after an
+	// acquire load of mode observes laneMPMC.
+	mpmc *ringbuf.MPMC[txToken]
+	// producers counts the sources ever registered on the lane; guarded
+	// by the owning ClientConn's mu. It never decrements — a promoted
+	// lane stays MPMC even if sources close, keeping the state machine
+	// one-way.
+	producers int
+}
+
+// newTxLane builds a lane. spscOK is the election predicate: the caller
+// proved exactly one poller consumes this technology and this is the
+// lane's first producer.
+func newTxLane(spscOK bool) (*txLane, error) {
+	l := &txLane{}
+	if spscOK {
+		r, err := ringbuf.NewSPSC[txToken](txRingDepth)
+		if err != nil {
+			return nil, err
+		}
+		l.spsc = r
+		l.mode.Store(laneSPSC)
+		return l, nil
+	}
+	r, err := ringbuf.NewMPMC[txToken](txRingDepth)
+	if err != nil {
+		return nil, err
+	}
+	l.mpmc = r
+	l.mode.Store(laneMPMC)
+	return l, nil
+}
+
+// promoteLocked switches an SPSC lane to MPMC because a second producer
+// registered. Callers hold the owning ClientConn's mu. The racing first
+// producer may still complete one in-flight SPSC push — it is still the
+// sole SPSC producer — and push() holds every producer back until the
+// poller drains the SPSC remnant, so no producer's pre-promotion tokens
+// are ever overtaken by its post-promotion ones.
+func (l *txLane) promoteLocked() error {
+	if l.mpmc != nil {
+		return nil
+	}
+	r, err := ringbuf.NewMPMC[txToken](txRingDepth)
+	if err != nil {
+		return err
+	}
+	l.mpmc = r
+	l.mode.Store(laneMPMC)
+	return nil
+}
+
+// push appends one token, reporting whether there was room. False means
+// backpressure: the caller keeps buffer ownership and may retry.
+//
+//insane:hotpath
+func (l *txLane) push(tok txToken) bool {
+	if l.mode.Load() == laneSPSC {
+		return l.spsc.TryPush(tok)
+	}
+	// Promoted lane: hold every producer back until the poller drains the
+	// SPSC remnant, so per-producer FIFO order survives the promotion.
+	// The check is one atomic pair on lanes that were ever promoted and a
+	// nil test on lanes born MPMC.
+	if l.spsc != nil && l.spsc.Len() > 0 {
+		return false
+	}
+	return l.mpmc.TryPush(tok)
+}
+
+// queued returns the tokens buffered in the lane (both rings during a
+// promotion transition). Snapshot semantics, like ringbuf Len.
+func (l *txLane) queued() int {
+	n := 0
+	if l.spsc != nil {
+		n += l.spsc.Len()
+	}
+	if l.mpmc != nil {
+		n += l.mpmc.Len()
+	}
+	return n
+}
+
+// single reports whether the lane is still in SPSC mode (tests and
+// introspection; the hot path reads mode directly).
+func (l *txLane) single() bool { return l.mode.Load() == laneSPSC }

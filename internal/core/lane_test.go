@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"github.com/insane-mw/insane/internal/datapath"
+	"github.com/insane-mw/insane/internal/model"
+	"github.com/insane-mw/insane/internal/qos"
+)
+
+// laneOf fetches the session's TX lane for a technology (test helper).
+func laneOf(c *ClientConn, tech model.Tech) *txLane {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lanes[tech]
+}
+
+// TestLaneElectionSingleSource: one source on a single-poller technology
+// gets the SPSC ring.
+func TestLaneElectionSingleSource(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, nil)
+	conn, _ := w.a.Connect()
+	st, _ := conn.OpenStream(qos.Options{})
+	sink, _ := st.CreateSink(41)
+	src, _ := st.CreateSource(41)
+
+	l := laneOf(conn, st.tech)
+	if l == nil || !l.single() {
+		t.Fatal("single source on single-poller tech: want SPSC lane")
+	}
+	if l.spsc == nil || l.mpmc != nil {
+		t.Errorf("SPSC lane rings: spsc=%v mpmc=%v", l.spsc != nil, l.mpmc != nil)
+	}
+	sendOn(t, src, []byte("via-spsc"))
+	d, err := sink.Consume(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Release(d)
+}
+
+// TestLanePromotionOnSecondSource: a second source on the same session
+// and technology promotes the lane to MPMC, one-way.
+func TestLanePromotionOnSecondSource(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, nil)
+	conn, _ := w.a.Connect()
+	st, _ := conn.OpenStream(qos.Options{})
+	sink, _ := st.CreateSink(42)
+	src1, _ := st.CreateSource(42)
+	l := laneOf(conn, st.tech)
+	if !l.single() {
+		t.Fatal("first source: want SPSC mode")
+	}
+	src2, _ := st.CreateSource(42)
+	if l.single() {
+		t.Fatal("second source: want MPMC mode")
+	}
+	if l.mpmc == nil || l.spsc == nil {
+		t.Errorf("promoted lane keeps both rings: spsc=%v mpmc=%v", l.spsc != nil, l.mpmc != nil)
+	}
+	// Closing a source never demotes: the state machine is one-way.
+	src2.Close()
+	if l.single() {
+		t.Error("lane demoted after source close")
+	}
+	sendOn(t, src1, []byte("via-mpmc"))
+	d, err := sink.Consume(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Release(d)
+}
+
+// TestLaneMPMCUnderMultiPoller: with several polling threads per plugin
+// the consumer side is not single, so even the first source gets MPMC.
+func TestLaneMPMCUnderMultiPoller(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, func(c *Config) {
+		c.PollersPerPlugin = 2
+	})
+	conn, _ := w.a.Connect()
+	st, _ := conn.OpenStream(qos.Options{})
+	sink, _ := st.CreateSink(43)
+	src, _ := st.CreateSource(43)
+
+	l := laneOf(conn, st.tech)
+	if l.single() {
+		t.Fatal("multi-poller tech: want MPMC lane from birth")
+	}
+	if l.spsc != nil {
+		t.Error("multi-poller lane must not carry an SPSC ring")
+	}
+	sendOn(t, src, []byte("multi-poller"))
+	d, err := sink.Consume(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Release(d)
+}
+
+// TestLaneFIFOAcrossPromotion: tokens emitted by the first producer
+// before the promotion must be consumed before its tokens emitted after
+// it — the hold-back/remnant-drain protocol in action.
+func TestLaneFIFOAcrossPromotion(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, nil)
+	conn, _ := w.a.Connect()
+	st, _ := conn.OpenStream(qos.Options{})
+	sink, _ := st.CreateSink(44)
+	src1, _ := st.CreateSource(44)
+
+	emitSeq := func(src *SourceHandle, tag byte, n uint32) {
+		b, err := src.GetBuffer(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Payload[0] = tag
+		binary.LittleEndian.PutUint32(b.Payload[1:], n)
+		if _, err := src.Emit(b, 8); err != nil {
+			t.Fatalf("emit %c%d: %v", tag, n, err)
+		}
+	}
+
+	const perPhase = 50
+	for i := uint32(0); i < perPhase; i++ {
+		emitSeq(src1, 'a', i)
+	}
+	// Promote mid-stream; CreateSource absorbs the remnant-drain window.
+	src2, err := st.CreateSource(44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < perPhase; i++ {
+		emitSeq(src1, 'a', perPhase+i)
+		emitSeq(src2, 'b', i)
+	}
+
+	// Per-producer order must hold across the promotion boundary.
+	next := map[byte]uint32{'a': 0, 'b': 0}
+	for i := 0; i < 3*perPhase; i++ {
+		d, err := sink.Consume(2 * time.Second)
+		if err != nil {
+			t.Fatalf("consume %d: %v", i, err)
+		}
+		tag, n := d.Payload[0], binary.LittleEndian.Uint32(d.Payload[1:])
+		if n != next[tag] {
+			t.Fatalf("producer %c out of order: got %d, want %d", tag, n, next[tag])
+		}
+		next[tag]++
+		sink.Release(d)
+	}
+}

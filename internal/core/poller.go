@@ -108,17 +108,41 @@ func (r *Runtime) pollLoop(p *poller) {
 	}
 }
 
-// txSnap is a poller's cached view of the TX rings feeding one
-// technology. The ring set only changes when a session connects,
-// disconnects, or lazily creates a ring (txRing), so the poller rebuilds
-// it only when the runtime's topology epoch moves — the steady-state
-// drain pass touches no locks and no maps (RCU-style read path, §5.3).
-type txSnap struct {
-	epoch uint64
-	rings []*ringbuf.MPMC[txToken]
+// laneView is a poller's immutable view of one TX lane's rings. Both
+// pointers are captured under the owning conn's mu; a promotion bumps the
+// topology epoch, so a view missing the new MPMC ring survives at most
+// one pass. The SPSC ring is always drained before the MPMC ring — that,
+// plus the producer-side remnant hold-back in txLane.push, preserves
+// per-producer FIFO order across a promotion.
+type laneView struct {
+	spsc *ringbuf.SPSC[txToken]
+	mpmc *ringbuf.MPMC[txToken]
 }
 
-// refreshTxSnap rebuilds a poller's ring snapshot for one technology if
+// queued returns the view's buffered token count (occupancy sampling).
+func (v *laneView) queued() int {
+	n := 0
+	if v.spsc != nil {
+		n += v.spsc.Len()
+	}
+	if v.mpmc != nil {
+		n += v.mpmc.Len()
+	}
+	return n
+}
+
+// txSnap is a poller's cached view of the TX lanes feeding one
+// technology. The lane set only changes when a session connects,
+// disconnects, lazily creates a lane, or a lane is promoted to MPMC, so
+// the poller rebuilds it only when the runtime's topology epoch moves —
+// the steady-state drain pass touches no locks and no maps (RCU-style
+// read path, §5.3).
+type txSnap struct {
+	epoch uint64
+	lanes []laneView
+}
+
+// refreshTxSnap rebuilds a poller's lane snapshot for one technology if
 // the conn topology changed since it was taken. The epoch is loaded
 // before the tables are read: a concurrent mutation either lands in this
 // rebuild or bumps the epoch past the one recorded here, forcing another
@@ -131,15 +155,21 @@ func (r *Runtime) refreshTxSnap(s *txSnap, tech model.Tech) {
 	r.mu.RLock()
 	conns := r.connList
 	r.mu.RUnlock()
-	s.rings = s.rings[:0]
+	s.lanes = s.lanes[:0]
 	//insane:bounded by=topology-epoch rebuild: one entry per live client connection, off the steady-state path
 	for _, c := range conns {
 		c.mu.Lock()
-		ring := c.txRings[tech]
+		l := c.lanes[tech]
+		var view laneView
+		if l != nil {
+			// Capture both ring pointers under c.mu: promotion writes
+			// l.mpmc under the same lock.
+			view = laneView{spsc: l.spsc, mpmc: l.mpmc}
+		}
 		c.mu.Unlock()
-		if ring != nil {
+		if l != nil {
 			//lint:ignore insanevet/hotpathcheck topology-epoch rebuild; the steady-state drain pass never reaches this
-			s.rings = append(s.rings, ring)
+			s.lanes = append(s.lanes, view)
 		}
 	}
 	s.epoch = epoch
@@ -156,30 +186,53 @@ func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
 	r.refreshTxSnap(snap, st.tech)
 	now := r.clock.Now()
 	pulled := 0
-	//insane:bounded by=one ring per live session in the epoch snapshot
-	for _, ring := range snap.rings {
-		// Ring occupancy, sampled before the drain: queue-depth visibility
-		// for the exporter without a per-token cost. Empty rings are not
+	//insane:bounded by=one lane per live session in the epoch snapshot
+	for li := range snap.lanes {
+		lv := &snap.lanes[li]
+		// Lane occupancy, sampled before the drain: queue-depth visibility
+		// for the exporter without a per-token cost. Empty lanes are not
 		// recorded — an idle poller would otherwise bury the distribution
 		// under zeros.
-		if occ := ring.Len(); occ > 0 {
+		if occ := lv.queued(); occ > 0 {
 			p.shard.Observe(telemetry.HistTxRingOccupancy, int64(occ))
 		}
-		//insane:bounded by=pulled strictly increases per iteration and r.burst <= model.MaxBurst
-		for pulled < r.burst {
-			want := r.burst - pulled
-			if want > len(p.toks) {
-				want = len(p.toks)
+		// SPSC ring first (the pre-promotion remnant precedes any MPMC
+		// tokens from the same producer), then the MPMC ring.
+		if lv.spsc != nil {
+			//insane:bounded by=pulled strictly increases per iteration and r.burst <= model.MaxBurst
+			for pulled < r.burst {
+				want := r.burst - pulled
+				if want > len(p.toks) {
+					want = len(p.toks)
+				}
+				n := lv.spsc.PopBatch(p.toks[:want])
+				if n == 0 {
+					break
+				}
+				//insane:bounded by=n <= len(p.toks), the per-poller burst buffer (<= model.MaxBurst)
+				for i := 0; i < n; i++ {
+					r.enqueueToken(p, st, p.toks[i], now)
+				}
+				pulled += n
 			}
-			n := ring.PopBatch(p.toks[:want])
-			if n == 0 {
-				break
+		}
+		if lv.mpmc != nil {
+			//insane:bounded by=pulled strictly increases per iteration and r.burst <= model.MaxBurst
+			for pulled < r.burst {
+				want := r.burst - pulled
+				if want > len(p.toks) {
+					want = len(p.toks)
+				}
+				n := lv.mpmc.PopBatch(p.toks[:want])
+				if n == 0 {
+					break
+				}
+				//insane:bounded by=n <= len(p.toks), the per-poller burst buffer (<= model.MaxBurst)
+				for i := 0; i < n; i++ {
+					r.enqueueToken(p, st, p.toks[i], now)
+				}
+				pulled += n
 			}
-			//insane:bounded by=n <= len(p.toks), the per-poller burst buffer (<= model.MaxBurst)
-			for i := 0; i < n; i++ {
-				r.enqueueToken(p, st, p.toks[i], now)
-			}
-			pulled += n
 		}
 	}
 

@@ -1,0 +1,105 @@
+// Run-to-completion fast path (DESIGN.md §11): an Emit on an opted-in
+// stream whose fanout is purely local delivers straight into the sink RX
+// rings on the emitting goroutine — no TX lane push, no scheduler dwell,
+// no poller wakeup. The paper's DP-class semantics permit this for
+// latency-class flows; the preconditions below are exactly the cases
+// where the queued path's machinery adds ordering or flow-control value
+// the fast path cannot replicate, so failing any of them falls back.
+
+package core
+
+import (
+	"github.com/insane-mw/insane/internal/telemetry"
+)
+
+// RTCMaxFanout is the largest local fanout the run-to-completion path
+// will deliver synchronously. Beyond it, the emitting goroutine would be
+// doing the poller's batched work without its amortization, so Emit
+// falls back to the queued path and lets dispatch fan out.
+const RTCMaxFanout = 4
+
+// emitRTC attempts the run-to-completion delivery of one emitted buffer
+// and reports whether it committed. On false, nothing happened: the
+// caller still owns the buffer and must take the queued path.
+//
+// Preconditions (fallback when any fails):
+//   - no remote peer subscribed to the channel (remote sends need the
+//     poller's endpoint serialization and per-peer framing);
+//   - at least one and at most RTCMaxFanout local sinks;
+//   - for time-sensitive streams, the 802.1Qbv gate of the stream's
+//     class is open right now (a closed gate means the packet must wait,
+//     which is the TAS queue's job);
+//   - no sink ring is full (the queued path is where backpressure
+//     and drop accounting live; checking up front also makes the
+//     fallback deterministic for tests).
+//
+//insane:hotpath
+func (s *SourceHandle) emitRTC(b *Buffer, n int, seq uint32) bool {
+	rt := s.stream.conn.rt
+	if len(rt.subs.subscribers(s.channel)) != 0 {
+		return false
+	}
+	sinks := rt.sinksFor(s.channel)
+	if len(sinks) == 0 || len(sinks) > RTCMaxFanout {
+		return false
+	}
+	if s.gate != nil && !s.gate.GateOpenAt(s.stream.opts.Class, rt.clock.Now()) {
+		return false
+	}
+	//insane:bounded by=fanout capped at RTCMaxFanout by the admission check above
+	for _, k := range sinks {
+		if k.ring.Len() >= k.ring.Cap() {
+			return false
+		}
+	}
+
+	// Commit. The RTC hop replaces the queued path's IPC+scheduler
+	// charges; per-sink delivery cost is charged exactly like
+	// deliverLocal. The header is never encoded — the rxToken carries
+	// the payload view directly, as deliverLocal's tokens do.
+	hop := rt.tb.Scale(rt.rc.RTCDeliver.Class, rt.rc.RTCDeliver.Fixed+rt.rc.RTCDeliver.Amort)
+	vt := b.VTime.Add(hop)
+	bd := b.Breakdown
+	bd.Send += hop
+
+	_ = rt.mm.AddRef(b.Slot, len(sinks))
+	//insane:bounded by=fanout capped at RTCMaxFanout by the admission check above
+	for i, k := range sinks {
+		tok := rxToken{
+			slot:    b.Slot,
+			buf:     b.buf,
+			off:     MsgHeadroom,
+			length:  n,
+			channel: s.channel,
+			vtime:   vt,
+			bd:      bd,
+		}
+		d := rt.deliveryCost(i)
+		tok.vtime = tok.vtime.Add(d)
+		tok.bd.Recv += d
+		if !k.ring.TryPush(tok) {
+			// A consumer-side race filled the ring after the advisory
+			// check: drop this delivery exactly like deliverLocal would.
+			_ = rt.mm.Release(b.Slot)
+			s.shard.Inc(telemetry.CtrRingFullDrops)
+			continue
+		}
+		s.shard.Inc(telemetry.CtrLocalDeliveries)
+		s.shard.Inc(telemetry.CtrRTCDeliveries)
+		if !s.noTel {
+			s.shard.Observe(telemetry.HistDeliverLatency, int64(d))
+			s.shard.Observe(telemetry.HistRTCDeliver, int64(hop+d))
+		}
+		k.wake()
+	}
+	_ = rt.mm.Release(b.Slot)
+
+	s.recordOutcome(Outcome{Seq: seq, LocalSinks: len(sinks)})
+	s.shard.Inc(telemetry.CtrEmits)
+	s.shard.Add(telemetry.CtrEmitBytes, uint64(n))
+	// Ownership of the slot moved to the sinks; recycle the dead wrapper
+	// (same contract as the queued Emit).
+	*b = Buffer{}
+	bufferPool.Put(b)
+	return true
+}

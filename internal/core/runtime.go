@@ -13,7 +13,6 @@ import (
 	"github.com/insane-mw/insane/internal/mempool"
 	"github.com/insane-mw/insane/internal/model"
 	"github.com/insane-mw/insane/internal/netstack"
-	"github.com/insane-mw/insane/internal/ringbuf"
 	"github.com/insane-mw/insane/internal/sched"
 	"github.com/insane-mw/insane/internal/telemetry"
 	"github.com/insane-mw/insane/internal/timebase"
@@ -83,6 +82,12 @@ type Stats struct {
 	NoSinkDrops uint64
 	// RingFullDrops counts deliveries dropped on full sink rings.
 	RingFullDrops uint64
+	// RTCDeliveries counts local deliveries made synchronously by the
+	// run-to-completion fast path (a subset of LocalDeliveries).
+	RTCDeliveries uint64
+	// RTCFallbacks counts Emits on RTC-enabled streams that took the
+	// queued path because a precondition failed.
+	RTCFallbacks uint64
 	// TechDowngrades counts remote sends that used a technology below
 	// the stream's mapping because the peer lacks it.
 	TechDowngrades uint64
@@ -107,6 +112,11 @@ type techState struct {
 	schedMu sync.Mutex
 	fifo    *sched.FIFO
 	tas     *sched.TAS
+
+	// consumers is how many polling threads drain this technology's TX
+	// lanes, fixed at runtime construction. Exactly 1 is what makes a
+	// single-producer lane eligible for the SPSC ring.
+	consumers int
 }
 
 // Runtime is the INSANE runtime instance of one host.
@@ -300,6 +310,13 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			}
 		}
 	}
+	// Record how many pollers drain each technology: the TX-lane SPSC
+	// election (lane) needs the consumer count to be provably 1.
+	for _, g := range groups {
+		for _, st := range g {
+			st.consumers++
+		}
+	}
 	// One telemetry shard per polling thread (hot-path writers stay on
 	// private cache lines) plus a stripe for client-side handles.
 	r.tel = telemetry.New(len(groups) + clientTelemetryShards)
@@ -379,7 +396,7 @@ func (r *Runtime) Connect() (*ClientConn, error) {
 	c := &ClientConn{
 		rt:      r,
 		id:      mempool.Owner(r.nextConnID.Add(1)),
-		txRings: make(map[model.Tech]*ringbuf.MPMC[txToken]),
+		lanes:   make(map[model.Tech]*txLane),
 		streams: make(map[uint64]*StreamHandle),
 	}
 	r.mu.Lock()
@@ -434,6 +451,8 @@ func (r *Runtime) Stats() Stats {
 		LocalDeliveries: r.tel.Counter(telemetry.CtrLocalDeliveries),
 		NoSinkDrops:     r.tel.Counter(telemetry.CtrNoSinkDrops),
 		RingFullDrops:   r.tel.Counter(telemetry.CtrRingFullDrops),
+		RTCDeliveries:   r.tel.Counter(telemetry.CtrRTCDeliveries),
+		RTCFallbacks:    r.tel.Counter(telemetry.CtrRTCFallbacks),
 		TechDowngrades:  r.tel.Counter(telemetry.CtrTechDowngrades),
 		Endpoint:        make(map[model.Tech]datapath.Stats, len(r.techs)),
 	}

@@ -224,6 +224,11 @@ type RuntimeCosts struct {
 	NetstackTx Component // packet processing engine, transmit
 	NetstackRx Component // packet processing engine, receive
 	Deliver    Component // token insert into the sink's RX ring
+	// RTCDeliver is the run-to-completion hop: a latency-class Emit that
+	// delivers straight to local sinks on the emitting core, replacing
+	// the IPCTx+Sched pair. Cheaper than either alone — no ring crossing,
+	// no scheduling decision, just the admission checks.
+	RTCDeliver Component
 	// RxDMATouchNs is the per-byte receive-side cost (DMA/PCIe share and
 	// payload cache touch) charged on the runtime's polling thread.
 	RxDMATouchNs float64
@@ -245,6 +250,7 @@ func DefaultRuntimeCosts() RuntimeCosts {
 		NetstackTx:          Component{Name: "netstack-tx", Category: CatProcessing, Class: ScaleRuntime, Fixed: 60, Amort: 50},
 		NetstackRx:          Component{Name: "netstack-rx", Category: CatProcessing, Class: ScaleRuntime, Fixed: 50, Amort: 55},
 		Deliver:             Component{Name: "sink-deliver", Category: CatRecv, Class: ScaleRuntime, Fixed: 80, Amort: 110},
+		RTCDeliver:          Component{Name: "rtc-deliver", Category: CatSend, Class: ScaleRuntime, Fixed: 40},
 		RxDMATouchNs:        0.058,
 		PerExtraSinkNs:      5.4,
 		SinkCacheKnee:       6,

@@ -111,6 +111,14 @@ type Options struct {
 	// NoTelemetry opts this stream's messages out of the per-stage
 	// latency histograms (counters still run); see DESIGN.md §8.
 	NoTelemetry bool
+	// RunToCompletion opts the stream's sources into the run-to-completion
+	// fast path (DESIGN.md §11): an Emit whose fanout is purely local, small
+	// enough, and (for time-sensitive streams) inside its 802.1Qbv gate
+	// window is delivered synchronously on the emitting goroutine, skipping
+	// the TX ring, the scheduler, and the poller wakeup. Emits that fail the
+	// preconditions silently take the queued path. Opting in commits each
+	// source to the documented single-goroutine emit contract.
+	RunToCompletion bool
 }
 
 // normalized fills zero values with the defaults.

@@ -5,12 +5,15 @@
 //
 // Two variants are provided:
 //
-//   - SPSC: a single-producer/single-consumer ring used for the per-session
-//     TX token queue and the per-sink RX token queue, where each end is
-//     owned by exactly one goroutine.
+//   - SPSC: a single-producer/single-consumer ring used where the runtime
+//     can prove each end is owned by exactly one goroutine — notably the
+//     per-(session,technology) TX lanes elected single-producer
+//     (internal/core's txLane) — and cheaper than the MPMC by two CAS
+//     loops per transfer.
 //   - MPMC: a Vyukov-style bounded multi-producer/multi-consumer ring used
-//     by the memory manager's free-slot list, where many sessions release
-//     and acquire slots concurrently.
+//     wherever ownership cannot be pinned: multi-source TX lanes, sink RX
+//     rings (fed by pollers and run-to-completion emitters alike), and the
+//     memory manager's free-slot list.
 //
 // Both are fixed capacity (a power of two), never allocate after
 // construction, and never block: full/empty conditions are reported to the
@@ -76,6 +79,31 @@ func (r *SPSC[T]) TryPop() (T, bool) {
 	r.buf[head&r.mask] = zero // release references for GC
 	r.head.Store(head + 1)
 	return v, true
+}
+
+// PushBatch appends up to len(src) elements and returns how many were
+// accepted. The single producer owns the tail, so the whole batch costs
+// one atomic load of head and one store of tail — the SPSC analogue of
+// the MPMC PushBatch run-claim, without the CAS (the paper's
+// opportunistic batching, §6.2). Elements become visible to the consumer
+// only at the final tail store, in order.
+//
+//insane:hotpath
+func (r *SPSC[T]) PushBatch(src []T) int {
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	n := uint64(len(src))
+	if free < n {
+		n = free
+	}
+	//insane:bounded by=n <= len(src), the caller's batch buffer
+	for i := uint64(0); i < n; i++ {
+		r.buf[(tail+i)&r.mask] = src[i]
+	}
+	if n > 0 {
+		r.tail.Store(tail + n)
+	}
+	return int(n)
 }
 
 // PopBatch pops up to len(dst) elements into dst and returns the count.

@@ -114,6 +114,167 @@ func TestSPSCPopBatch(t *testing.T) {
 	}
 }
 
+func TestSPSCPushBatch(t *testing.T) {
+	r, err := NewSPSC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []int{0, 1, 2, 3, 4}
+	if n := r.PushBatch(src); n != 5 {
+		t.Fatalf("PushBatch = %d, want 5", n)
+	}
+	// Only 3 slots left: a 5-element batch is truncated.
+	if n := r.PushBatch([]int{5, 6, 7, 8, 9}); n != 3 {
+		t.Fatalf("PushBatch on near-full ring = %d, want 3", n)
+	}
+	if n := r.PushBatch(src); n != 0 {
+		t.Fatalf("PushBatch on full ring = %d, want 0", n)
+	}
+	if n := r.PushBatch(nil); n != 0 {
+		t.Fatalf("PushBatch(nil) = %d, want 0", n)
+	}
+	for want := 0; want < 8; want++ {
+		v, ok := r.TryPop()
+		if !ok || v != want {
+			t.Fatalf("TryPop = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+}
+
+func TestSPSCPushBatchWrapAround(t *testing.T) {
+	r, err := NewSPSC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	dst := make([]int, 3)
+	for lap := 0; lap < 100; lap++ {
+		if n := r.PushBatch([]int{next, next + 1, next + 2}); n != 3 {
+			t.Fatalf("lap %d: PushBatch = %d, want 3", lap, n)
+		}
+		if n := r.PopBatch(dst); n != 3 {
+			t.Fatalf("lap %d: PopBatch = %d, want 3", lap, n)
+		}
+		for i, v := range dst {
+			if v != next+i {
+				t.Fatalf("lap %d: dst[%d] = %d, want %d", lap, i, v, next+i)
+			}
+		}
+		next += 3
+	}
+}
+
+// TestSPSCPushBatchConcurrent drives a batch producer against a batch
+// consumer and asserts exactly-once in-order delivery (run it under
+// -race to check the publication ordering of the tail store).
+func TestSPSCPushBatchConcurrent(t *testing.T) {
+	const total = 50_000
+	r, err := NewSPSC[int](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := make([]int, 7)
+		for i := 0; i < total; {
+			n := len(src)
+			if total-i < n {
+				n = total - i
+			}
+			for j := 0; j < n; j++ {
+				src[j] = i + j
+			}
+			pushed := r.PushBatch(src[:n])
+			if pushed == 0 {
+				runtime.Gosched()
+			}
+			i += pushed
+		}
+	}()
+	dst := make([]int, 13)
+	for want := 0; want < total; {
+		n := r.PopBatch(dst)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if dst[j] != want {
+				t.Fatalf("out of order: got %d, want %d", dst[j], want)
+			}
+			want++
+		}
+	}
+	wg.Wait()
+	if !r.Empty() {
+		t.Error("ring not empty after drain")
+	}
+}
+
+// TestBatchSemanticsSPSCvsMPMC cross-checks the two rings under a single
+// producer: the same interleaving of PushBatch/PopBatch calls must accept
+// the same counts and deliver the same element order, so a txLane elected
+// SPSC behaves exactly like the MPMC lane it replaces.
+func TestBatchSemanticsSPSCvsMPMC(t *testing.T) {
+	prop := func(ops []uint8, vals []uint32) bool {
+		s, err := NewSPSC[uint32](16)
+		if err != nil {
+			return false
+		}
+		m, err := NewMPMC[uint32](16)
+		if err != nil {
+			return false
+		}
+		next := 0
+		dstS := make([]uint32, 8)
+		dstM := make([]uint32, 8)
+		for _, op := range ops {
+			if op%2 == 0 {
+				// Push a batch of 1-4 values.
+				n := int(op/2)%4 + 1
+				if next+n > len(vals) {
+					n = len(vals) - next
+				}
+				if n <= 0 {
+					continue
+				}
+				batch := vals[next : next+n]
+				next += n
+				ns, nm := s.PushBatch(batch), m.PushBatch(batch)
+				if ns != nm {
+					t.Logf("PushBatch accepted %d (SPSC) vs %d (MPMC)", ns, nm)
+					return false
+				}
+				// Re-queue what one of them rejected for the next round.
+				next -= n - ns
+			} else {
+				n := int(op/2)%8 + 1
+				ns, nm := s.PopBatch(dstS[:n]), m.PopBatch(dstM[:n])
+				if ns != nm {
+					t.Logf("PopBatch returned %d (SPSC) vs %d (MPMC)", ns, nm)
+					return false
+				}
+				for i := 0; i < ns; i++ {
+					if dstS[i] != dstM[i] {
+						t.Logf("element %d: %d (SPSC) vs %d (MPMC)", i, dstS[i], dstM[i])
+						return false
+					}
+				}
+			}
+		}
+		if s.Len() != m.Len() {
+			t.Logf("Len %d (SPSC) vs %d (MPMC)", s.Len(), m.Len())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSPSCZeroesPoppedSlots(t *testing.T) {
 	r, err := NewSPSC[*int](2)
 	if err != nil {

@@ -185,6 +185,21 @@ func (t *TAS) gatesAt(now timebase.VTime) uint8 {
 	return 0 // unreachable: pos < cycle by construction
 }
 
+// GateOpenAt reports whether a traffic class's gate is open at virtual
+// time now. Unlike the queue operations it is safe to call concurrently
+// with a poller using the shaper: it reads only the gate control list and
+// cycle length, both immutable after construction. The run-to-completion
+// fast path uses it to honor 802.1Qbv windows without taking the
+// scheduler lock.
+//
+//insane:hotpath
+func (t *TAS) GateOpenAt(class uint8, now timebase.VTime) bool {
+	if class >= NumClasses {
+		class = NumClasses - 1
+	}
+	return t.gatesAt(now)&(1<<class) != 0
+}
+
 // Dequeue drains eligible packets: only classes whose gate is open at now,
 // highest class first. A dequeued packet that had to wait for its gate
 // carries the wait (now minus its enqueue time, both on the scheduler's

@@ -31,6 +31,8 @@ var counterHelp = [NumCounters]string{
 	CtrTechDowngrades:   "Remote sends forced below the stream's mapped technology.",
 	CtrConsumes:         "Deliveries handed to the application by Consume.",
 	CtrConsumeBytes:     "Payload bytes handed to the application by Consume.",
+	CtrRTCDeliveries:    "Local deliveries made synchronously by the run-to-completion fast path.",
+	CtrRTCFallbacks:     "Emits on RTC-enabled streams that fell back to the queued path.",
 }
 
 // histHelp documents each histogram.
@@ -44,6 +46,7 @@ var histHelp = [NumHists]string{
 	HistStageNetwork:    "Network-stage share of the one-way latency (Fig. 6).",
 	HistStageRecv:       "Receive-stage share of the one-way latency (Fig. 6).",
 	HistStageProcessing: "Processing-stage share of the one-way latency (Fig. 6).",
+	HistRTCDeliver:      "Charged cost of one run-to-completion delivery (RTC hop + per-sink cost).",
 }
 
 // CounterMetricName returns the full Prometheus series name of a counter.

@@ -50,6 +50,14 @@ const (
 	CtrConsumes
 	// CtrConsumeBytes accumulates consumed payload bytes.
 	CtrConsumeBytes
+	// CtrRTCDeliveries counts local deliveries made synchronously on the
+	// emitting goroutine by the run-to-completion fast path (a subset of
+	// CtrLocalDeliveries).
+	CtrRTCDeliveries
+	// CtrRTCFallbacks counts Emits on RTC-enabled streams that had to take
+	// the queued path (remote subscriber, fanout over budget, closed TSN
+	// gate, or a full sink ring).
+	CtrRTCFallbacks
 
 	// NumCounters sizes the per-shard counter array.
 	NumCounters
@@ -70,6 +78,8 @@ var counterNames = [NumCounters]string{
 	CtrTechDowngrades:   "tech_downgrades",
 	CtrConsumes:         "consumes",
 	CtrConsumeBytes:     "consume_bytes",
+	CtrRTCDeliveries:    "rtc_deliveries",
+	CtrRTCFallbacks:     "rtc_fallbacks",
 }
 
 // NameOf returns the stable exporter name of a counter.
@@ -101,6 +111,9 @@ const (
 	HistStageNetwork
 	HistStageRecv
 	HistStageProcessing
+	// HistRTCDeliver records the charged cost of one run-to-completion
+	// delivery (the RTC hop plus the per-sink delivery cost), ns.
+	HistRTCDeliver
 
 	// NumHists sizes the per-shard histogram array.
 	NumHists
@@ -117,6 +130,7 @@ var histNames = [NumHists]string{
 	HistStageNetwork:    "stage_network",
 	HistStageRecv:       "stage_recv",
 	HistStageProcessing: "stage_processing",
+	HistRTCDeliver:      "rtc_deliver",
 }
 
 // HistNameOf returns the stable exporter name of a histogram.
