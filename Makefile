@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet lint lint-hotpath lint-concurrency lint-arch lint-bounded bench bench-baseline bench-compare metrics-smoke experiments demo examples loc help
+.PHONY: all test race vet lint lint-hotpath lint-concurrency lint-arch lint-bounded bench bench-baseline bench-compare bench-isolation metrics-smoke experiments demo examples loc help
 
 all: vet test lint ## vet + test + lint (the CI gate)
 
@@ -42,6 +42,9 @@ bench-baseline: ## measure the hot-path suite and refresh BENCH_hotpath.json
 bench-compare: ## re-measure the hot-path suite; fail on >10% ns/op or any allocs/op regression
 	$(GO) run ./cmd/insane-bench -compare BENCH_hotpath.json
 
+bench-isolation: ## run the tenant timing-isolation scenario and refresh BENCH_isolation.json
+	$(GO) run ./cmd/insane-bench -isolation -isolation-out BENCH_isolation.json
+
 metrics-smoke: ## boot a 2-node cluster, scrape /metrics, check the required series
 	$(GO) run ./cmd/insane-info -metrics > /tmp/insane_metrics.prom
 	@for series in insane_emits_total insane_consumes_total \
@@ -49,7 +52,10 @@ metrics-smoke: ## boot a 2-node cluster, scrape /metrics, check the required ser
 	  insane_consume_latency_seconds_bucket insane_sched_dwell_seconds_bucket \
 	  insane_stage_network_seconds_bucket insane_mempool_gets_total \
 	  insane_mempool_free_slots insane_envcache_events_total \
-	  insane_emit_backpressure_total insane_sched_queue_depth; do \
+	  insane_emit_backpressure_total insane_sched_queue_depth \
+	  insane_tenant_emits_total insane_tenant_consumes_total \
+	  insane_tenant_weight insane_tenant_mem_slots_used \
+	  insane_tenant_tx_inflight insane_tenant_consume_latency_seconds_bucket; do \
 	  grep -q "^$$series" /tmp/insane_metrics.prom || { echo "missing series: $$series"; exit 1; }; \
 	done
 	@echo "metrics-smoke: all required series present"

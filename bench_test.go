@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"strconv"
 	"testing"
 	"time"
@@ -163,7 +164,7 @@ func BenchmarkEmitConsumeLocal(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer sess.Close()
-	st, err := sess.CreateStream(insane.Options{})
+	st, err := sess.CreateStreamOpts()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -175,6 +176,10 @@ func BenchmarkEmitConsumeLocal(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// One deadline context reused for every iteration keeps the consume
+	// on the allocation-free pooled-timer path.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -185,7 +190,7 @@ func BenchmarkEmitConsumeLocal(b *testing.B) {
 		if _, err := src.Emit(buf, 64); err != nil {
 			b.Fatal(err)
 		}
-		msg, err := sink.ConsumeTimeout(time.Second)
+		msg, err := sink.ConsumeContext(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 //	insane-bench -list
 //	insane-bench -rounds 1000 -jobs 20000
 //	insane-bench -hotpath BENCH_hotpath.json   # hot-path baseline only
+//	insane-bench -isolation -isolation-out BENCH_isolation.json
 package main
 
 import (
@@ -39,6 +40,10 @@ func run(args []string) error {
 		throughput = fs.Bool("throughput", false, "measure multi-core throughput (pollers × streams) and print packets/sec")
 		compare    = fs.String("compare", "", "re-measure the hot-path suite and fail on regression against this baseline file")
 		tolerance  = fs.Float64("compare-tolerance", 0.10, "ns/op headroom for -compare (0.10 = +10%)")
+		isolation  = fs.Bool("isolation", false, "run the tenant timing-isolation scenario and fail if the TSN p99.9 exceeds -isolation-budget")
+		isoOut     = fs.String("isolation-out", "", "write the isolation results to this JSON baseline file")
+		isoMsgs    = fs.Int("isolation-msgs", 5000, "paced TSN messages per isolation scenario")
+		isoBudget  = fs.Duration("isolation-budget", 5*time.Millisecond, "TSN p99.9 ceiling for -isolation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +54,9 @@ func run(args []string) error {
 	}
 	if *compare != "" {
 		return runCompare(*compare, *hotIters, *tolerance)
+	}
+	if *isolation {
+		return runIsolation(*isoOut, *isoMsgs, *isoBudget)
 	}
 	if *throughput {
 		_, err := runThroughput(*hotIters)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -68,7 +69,7 @@ func measureThroughput(name string, pollers, streams, size, packets int) (bench.
 			return bench.ThroughputResult{}, err
 		}
 		sessions[i] = sess
-		st, err := sess.CreateStream(insane.Options{})
+		st, err := sess.CreateStreamOpts()
 		if err != nil {
 			return bench.ThroughputResult{}, err
 		}
@@ -113,8 +114,14 @@ func measureThroughput(name string, pollers, streams, size, packets int) (bench.
 		}(p.src)
 		go func(sink *insane.Sink) {
 			defer wg.Done()
+			// One deadline context reused across the drain loop keeps
+			// ConsumeContext on the allocation-free pooled-timer path; the
+			// deadline is a liveness guard for the whole drain, not a
+			// per-message budget.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
 			for n := 0; n < packets; n++ {
-				msg, err := sink.ConsumeTimeout(10 * time.Second)
+				msg, err := sink.ConsumeContext(ctx)
 				if err != nil {
 					errs <- err
 					return
@@ -151,7 +158,9 @@ func pumpOne(src *insane.Source, sink *insane.Sink, size int) error {
 	if err := emitRetry(src, size); err != nil {
 		return err
 	}
-	msg, err := sink.ConsumeTimeout(10 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	msg, err := sink.ConsumeContext(ctx)
 	if err != nil {
 		return err
 	}

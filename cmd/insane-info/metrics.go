@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,6 +20,9 @@ func metricsSmoke(w io.Writer, addr string) error {
 			{Name: "alpha", DPDK: true, RDMA: true},
 			{Name: "beta", DPDK: true, RDMA: true},
 		},
+		// A declared tenant so the scrape also covers the per-tenant
+		// metric families (DESIGN.md §12).
+		Tenants:     []insane.TenantSpec{{ID: "smoke", Weight: 2}},
 		MetricsAddr: addr,
 	})
 	if err != nil {
@@ -51,7 +55,7 @@ func metricsSmoke(w io.Writer, addr string) error {
 func metricsTraffic(cluster *insane.Cluster) error {
 	const channel, messages = 7, 64
 
-	sub, err := cluster.Node("beta").InitSession()
+	sub, err := cluster.Node("beta").InitSession(insane.WithTenant("smoke"))
 	if err != nil {
 		return err
 	}
@@ -65,7 +69,7 @@ func metricsTraffic(cluster *insane.Cluster) error {
 		return err
 	}
 
-	pub, err := cluster.Node("alpha").InitSession()
+	pub, err := cluster.Node("alpha").InitSession(insane.WithTenant("smoke"))
 	if err != nil {
 		return err
 	}
@@ -92,7 +96,9 @@ func metricsTraffic(cluster *insane.Cluster) error {
 		if _, err := src.Emit(buf, n); err != nil {
 			return err
 		}
-		m, err := sink.ConsumeTimeout(2 * time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		m, err := sink.ConsumeContext(ctx)
+		cancel()
 		if err != nil {
 			return fmt.Errorf("message %d: %w", i, err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -88,7 +89,9 @@ func run() error {
 		if err := component(cluster.Node(placement)); err != nil {
 			return err
 		}
-		msg, err := sink.ConsumeTimeout(2 * time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		msg, err := sink.ConsumeContext(ctx)
+		cancel()
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -80,7 +81,9 @@ func run() error {
 	}
 
 	// Zero-copy receive: consume, read, release.
-	msg, err := sink.ConsumeTimeout(2 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	msg, err := sink.ConsumeContext(ctx)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -125,7 +126,9 @@ func run() error {
 			return err
 		}
 
-		msg, err := ctlSink.ConsumeTimeout(2 * time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		msg, err := ctlSink.ConsumeContext(ctx)
+		cancel()
 		if err != nil {
 			return err
 		}
@@ -137,7 +140,9 @@ func run() error {
 	// Drain the bulk stream.
 	bulk := 0
 	for {
-		m, err := bulkSink.ConsumeTimeout(200 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		m, err := bulkSink.ConsumeContext(ctx)
+		cancel()
 		if err != nil {
 			break
 		}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -24,14 +25,14 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		t.Skip("race-detector instrumentation allocates; the gate measures the plain build")
 	}
 	t.Run("queued", func(t *testing.T) {
-		gateZeroAlloc(t, insane.Options{})
+		gateZeroAlloc(t)
 	})
 	t.Run("run-to-completion", func(t *testing.T) {
-		gateZeroAlloc(t, insane.Options{RunToCompletion: true})
+		gateZeroAlloc(t, insane.WithRunToCompletion(true))
 	})
 }
 
-func gateZeroAlloc(t *testing.T, opts insane.Options) {
+func gateZeroAlloc(t *testing.T, opts ...insane.Option) {
 	cluster, err := insane.NewCluster(insane.ClusterOptions{
 		Nodes: []insane.NodeSpec{{Name: "a"}, {Name: "b"}},
 	})
@@ -44,7 +45,7 @@ func gateZeroAlloc(t *testing.T, opts insane.Options) {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	st, err := sess.CreateStream(opts)
+	st, err := sess.CreateStreamOpts(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,6 +58,11 @@ func gateZeroAlloc(t *testing.T, opts insane.Options) {
 		t.Fatal(err)
 	}
 
+	// One deadline context reused across every op keeps ConsumeContext on
+	// the pooled-timer path; a fresh context per op would allocate and
+	// fail the gate for the wrong reason.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
 	op := func() {
 		buf, err := src.GetBuffer(64)
 		if err != nil {
@@ -65,7 +71,7 @@ func gateZeroAlloc(t *testing.T, opts insane.Options) {
 		if _, err := src.Emit(buf, 64); err != nil {
 			t.Fatal(err)
 		}
-		msg, err := sink.ConsumeTimeout(time.Second)
+		msg, err := sink.ConsumeContext(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +98,11 @@ func gateZeroAlloc(t *testing.T, opts insane.Options) {
 	if avg != 0 {
 		t.Fatalf("steady-state publish path allocates: %.2f allocs/op, want 0", avg)
 	}
-	if opts.RunToCompletion {
+	var assembled insane.Options
+	for _, opt := range opts {
+		opt(&assembled)
+	}
+	if assembled.RunToCompletion {
 		// The gate must have measured the fast path, not a fallback.
 		s := cluster.Node("a").Stats()
 		if s.RTCDeliveries == 0 || s.RTCFallbacks != 0 {

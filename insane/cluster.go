@@ -75,6 +75,11 @@ type ClusterOptions struct {
 	WireJitter time.Duration
 	// Seed makes loss injection deterministic.
 	Seed int64
+	// Tenants declares the cluster's tenants (DESIGN.md §12): every node
+	// gets the same tenant table, and sessions bind to one with
+	// InitSession(WithTenant(...)). An empty list runs every node in
+	// single-tenant mode with zero per-packet tenant overhead.
+	Tenants []TenantSpec
 	// Logf receives runtime warnings (optional).
 	Logf func(format string, args ...any)
 	// MetricsAddr, when non-empty, serves the cluster's telemetry as
@@ -195,6 +200,17 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		return m
 	}
 
+	var tenants []core.TenantSpec
+	for _, ts := range opts.Tenants {
+		tenants = append(tenants, core.TenantSpec{
+			Name:     string(ts.ID),
+			Weight:   ts.Weight,
+			MemSlots: ts.MemSlots,
+			TxTokens: ts.TxTokens,
+			MaxClass: ts.MaxClass,
+		})
+	}
+
 	c := &Cluster{net: net, nodes: make(map[string]*Node, len(all))}
 	for i, np := range all {
 		var peers []core.Peer
@@ -216,6 +232,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 			Resolver:         net.Resolver(),
 			Peers:            peers,
 			GCL:              gcl,
+			Tenants:          tenants,
 			SharedPoller:     np.spec.SharedPoller,
 			PollersPerPlugin: np.spec.PollersPerPlugin,
 			Logf:             opts.Logf,

@@ -1,0 +1,70 @@
+package insane_test
+
+// Compatibility coverage for the deprecated API surface. The paper-shaped
+// calls — CreateStream(Options), Consume(block) and ConsumeTimeout(d) —
+// remain exported wrappers over CreateStreamOpts and ConsumeContext;
+// every other caller in this repository uses the preferred forms, so
+// these tests are the only sanctioned users of the old signatures.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/insane-mw/insane/insane"
+)
+
+// TestDeprecatedCreateStream checks the struct-options constructor still
+// builds the same stream as the functional-options path it wraps.
+func TestDeprecatedCreateStreamMatchesOpts(t *testing.T) {
+	c := twoNodes(t, insane.NodeSpec{DPDK: true})
+	sess, err := c.Node("edge-1").InitSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaStruct, err := sess.CreateStream(insane.Options{Datapath: insane.Fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOpts, err := sess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaStruct.Technology() != viaOpts.Technology() {
+		t.Errorf("CreateStream mapped to %q, CreateStreamOpts to %q",
+			viaStruct.Technology(), viaOpts.Technology())
+	}
+	if viaStruct.FellBack() != viaOpts.FellBack() {
+		t.Error("CreateStream and CreateStreamOpts disagree on fallback")
+	}
+}
+
+// TestDeprecatedConsume keeps the boolean-flag consume and the plain
+// timeout consume working: ErrNoData on an empty non-blocking poll,
+// ErrTimeout on an expired wait, data on a blocking wait.
+func TestDeprecatedConsume(t *testing.T) {
+	c := twoNodes(t, insane.NodeSpec{})
+	sess, _ := c.Node("edge-1").InitSession()
+	st, _ := sess.CreateStreamOpts()
+	sink, _ := st.CreateSink(1, nil)
+	// By-value comparisons: the hot path translates sentinels without
+	// wrapping, so both errors.Is and == must hold.
+	if _, err := sink.Consume(false); err != insane.ErrNoData || !errors.Is(err, insane.ErrNoData) {
+		t.Errorf("empty non-blocking consume = %v, want ErrNoData by value", err)
+	}
+	if _, err := sink.ConsumeTimeout(5 * time.Millisecond); err != insane.ErrTimeout || !errors.Is(err, insane.ErrTimeout) {
+		t.Errorf("timeout consume = %v, want ErrTimeout by value", err)
+	}
+	// Co-located delivery then blocking consume.
+	src, _ := st.CreateSource(1)
+	send(t, src, []byte("x"))
+	m, err := sink.Consume(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Available() != 0 {
+		t.Error("Available after drain != 0")
+	}
+	sink.Release(m)
+	sink.Release(m) // double release is a no-op on a released message
+}

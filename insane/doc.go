@@ -31,7 +31,7 @@
 //	defer cluster.Close()
 //
 //	sess, _ := cluster.Node("edge-1").InitSession()
-//	stream, _ := sess.CreateStream(insane.Options{Datapath: insane.Fast})
+//	stream, _ := sess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 //	src, _ := stream.CreateSource(42)
 //
 //	buf, _ := src.GetBuffer(64)

@@ -32,6 +32,15 @@ var (
 	// ownership already moved to the runtime (a previous successful Emit).
 	// A static sentinel: Emit sits on the zero-allocation hot path.
 	ErrBufferConsumed = errors.New("insane: emit of nil or already-emitted buffer")
+	// ErrTenantQuota is returned by GetBuffer (slot budget) and Emit (TX
+	// token cap) when the session's tenant is at one of its declared
+	// limits; the pressure is the tenant's own, so back off and retry —
+	// or release held buffers — rather than treating it as node
+	// exhaustion.
+	ErrTenantQuota = errors.New("insane: tenant quota exhausted")
+	// ErrUnknownTenant is returned by InitSession(WithTenant(...)) when
+	// the tenant was not declared in ClusterOptions.Tenants.
+	ErrUnknownTenant = errors.New("insane: unknown tenant")
 )
 
 // publicErr translates an internal error to the package's sentinels.
@@ -52,6 +61,8 @@ func publicErr(err error) error {
 		return ErrTimeout
 	case err == mempool.ErrExhausted:
 		return ErrNoBuffers
+	case err == core.ErrTenantQuota, err == mempool.ErrQuota:
+		return ErrTenantQuota
 	}
 	// Wrapped variants (e.g. "no endpoint for <tech>") only occur on
 	// control paths, where errors.Is unwrapping is affordable.
@@ -62,6 +73,8 @@ func publicErr(err error) error {
 		return ErrClosed
 	case errors.Is(err, mempool.ErrExhausted):
 		return ErrNoBuffers
+	case errors.Is(err, core.ErrUnknownTenant):
+		return ErrUnknownTenant
 	}
 	return err
 }

@@ -24,8 +24,11 @@ func TestPublicErrTranslation(t *testing.T) {
 		{core.ErrNoData, ErrNoData},
 		{core.ErrTimeout, ErrTimeout},
 		{mempool.ErrExhausted, ErrNoBuffers},
+		{core.ErrTenantQuota, ErrTenantQuota},
+		{mempool.ErrQuota, ErrTenantQuota},
 		{fmt.Errorf("%w: dpdk", core.ErrNoDatapath), ErrNoDatapath},
 		{fmt.Errorf("%w: 9999 bytes", mempool.ErrExhausted), ErrNoBuffers},
+		{fmt.Errorf("%w: %q", core.ErrUnknownTenant, "ghost"), ErrUnknownTenant},
 	}
 	for _, c := range cases {
 		if got := publicErr(c.in); got != c.want {

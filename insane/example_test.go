@@ -40,7 +40,7 @@ func Example() {
 	n := copy(buf.Payload, "hello edge")
 	src.Emit(buf, n)
 
-	msg, _ := sink.ConsumeTimeout(2 * time.Second)
+	msg, _ := consumeWithin(sink, 2*time.Second)
 	fmt.Printf("received: %s\n", msg.Payload)
 	sink.Release(msg)
 	// Output:

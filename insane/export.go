@@ -53,7 +53,11 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snaps := make([]telemetry.NodeSnapshot, 0, len(c.order))
 	for _, name := range c.order {
 		n := c.nodes[name]
-		snaps = append(snaps, telemetry.NodeSnapshot{Node: n.name, Snap: n.rt.MetricsSnapshot()})
+		snaps = append(snaps, telemetry.NodeSnapshot{
+			Node:    n.name,
+			Snap:    n.rt.MetricsSnapshot(),
+			Tenants: n.rt.TenantSnapshots(),
+		})
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = telemetry.WriteProm(w, snaps)

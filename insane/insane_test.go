@@ -2,7 +2,7 @@ package insane_test
 
 import (
 	"bytes"
-	"errors"
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -34,6 +34,14 @@ func waitSubs(t *testing.T, n *insane.Node, channel, k int) {
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
+}
+
+// consumeWithin pops one delivery with a deadline, the test-side idiom
+// for the context-aware consume call.
+func consumeWithin(k *insane.Sink, d time.Duration) (*insane.Message, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return k.ConsumeContext(ctx)
 }
 
 func send(t *testing.T, src *insane.Source, payload []byte) uint32 {
@@ -82,14 +90,14 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st1, err := sess1.CreateStream(insane.Options{Datapath: insane.Fast})
+	st1, err := sess1.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st1.Technology() != "dpdk" {
 		t.Fatalf("fast stream on DPDK nodes → %s", st1.Technology())
 	}
-	st2, _ := sess2.CreateStream(insane.Options{Datapath: insane.Fast})
+	st2, _ := sess2.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	sink, err := st2.CreateSink(42, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +111,7 @@ func TestQuickstartFlow(t *testing.T) {
 	msg := []byte("hello edge cloud")
 	tok := send(t, src, msg)
 
-	got, err := sink.ConsumeTimeout(2 * time.Second)
+	got, err := consumeWithin(sink, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,8 +156,8 @@ func TestCallbackSink(t *testing.T) {
 	c := twoNodes(t, insane.NodeSpec{})
 	sess1, _ := c.Node("edge-1").InitSession()
 	sess2, _ := c.Node("edge-2").InitSession()
-	st1, _ := sess1.CreateStream(insane.Options{})
-	st2, _ := sess2.CreateStream(insane.Options{})
+	st1, _ := sess1.CreateStreamOpts()
+	st2, _ := sess2.CreateStreamOpts()
 
 	var mu sync.Mutex
 	var got [][]byte
@@ -190,35 +198,10 @@ func TestCallbackSink(t *testing.T) {
 	sink.Close() // idempotent
 }
 
-func TestNonBlockingConsume(t *testing.T) {
-	c := twoNodes(t, insane.NodeSpec{})
-	sess, _ := c.Node("edge-1").InitSession()
-	st, _ := sess.CreateStream(insane.Options{})
-	sink, _ := st.CreateSink(1, nil)
-	if _, err := sink.Consume(false); !errors.Is(err, insane.ErrNoData) {
-		t.Errorf("empty non-blocking consume = %v, want ErrNoData", err)
-	}
-	if _, err := sink.ConsumeTimeout(5 * time.Millisecond); !errors.Is(err, insane.ErrTimeout) {
-		t.Errorf("timeout consume = %v, want ErrTimeout", err)
-	}
-	// Co-located delivery then blocking consume.
-	src, _ := st.CreateSource(1)
-	send(t, src, []byte("x"))
-	m, err := sink.Consume(true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sink.Available() != 0 {
-		t.Error("Available after drain != 0")
-	}
-	sink.Release(m)
-	sink.Release(m) // double release is a no-op on a released message
-}
-
 func TestFallbackVisibleToApplication(t *testing.T) {
 	c := twoNodes(t, insane.NodeSpec{}) // kernel only
 	sess, _ := c.Node("edge-1").InitSession()
-	st, err := sess.CreateStream(insane.Options{Datapath: insane.Fast})
+	st, err := sess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,11 +216,11 @@ func TestFallbackVisibleToApplication(t *testing.T) {
 func TestFrugalResourcesPickXDP(t *testing.T) {
 	c := twoNodes(t, insane.NodeSpec{DPDK: true, XDP: true})
 	sess, _ := c.Node("edge-1").InitSession()
-	st, _ := sess.CreateStream(insane.Options{Datapath: insane.Fast, Resources: insane.Frugal})
+	st, _ := sess.CreateStreamOpts(insane.WithDatapath(insane.Fast), insane.WithResources(insane.Frugal))
 	if st.Technology() != "xdp" {
 		t.Errorf("frugal fast stream = %s, want xdp", st.Technology())
 	}
-	st2, _ := sess.CreateStream(insane.Options{Datapath: insane.Fast})
+	st2, _ := sess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	if st2.Technology() != "dpdk" {
 		t.Errorf("unconstrained fast stream = %s, want dpdk", st2.Technology())
 	}
@@ -280,7 +263,7 @@ func TestMigrationScenario(t *testing.T) {
 
 	// The consumer runs on "cloud" throughout.
 	cloudSess, _ := c.Node("cloud").InitSession()
-	cloudStream, _ := cloudSess.CreateStream(insane.Options{Datapath: insane.Fast})
+	cloudStream, _ := cloudSess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 	sink, _ := cloudStream.CreateSink(99, nil)
 	defer sink.Close()
 
@@ -292,7 +275,7 @@ func TestMigrationScenario(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer sess.Close()
-		st, err := sess.CreateStream(insane.Options{Datapath: insane.Fast})
+		st, err := sess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,14 +289,14 @@ func TestMigrationScenario(t *testing.T) {
 	}
 
 	tech1, fb1 := runComponent(c.Node("edge-dpdk"), []byte("from dpdk node"))
-	m1, err := sink.ConsumeTimeout(2 * time.Second)
+	m1, err := consumeWithin(sink, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sink.Release(m1)
 
 	tech2, fb2 := runComponent(c.Node("edge-bare"), []byte("from bare node"))
-	m2, err := sink.ConsumeTimeout(2 * time.Second)
+	m2, err := consumeWithin(sink, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,11 +320,11 @@ func TestSwitchedTopologyThreeNodes(t *testing.T) {
 	defer c.Close()
 
 	sessA, _ := c.Node("a").InitSession()
-	stA, _ := sessA.CreateStream(insane.Options{})
+	stA, _ := sessA.CreateStreamOpts()
 	var sinks []*insane.Sink
 	for _, name := range []string{"b", "c"} {
 		sess, _ := c.Node(name).InitSession()
-		st, _ := sess.CreateStream(insane.Options{})
+		st, _ := sess.CreateStreamOpts()
 		k, err := st.CreateSink(5, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -352,7 +335,7 @@ func TestSwitchedTopologyThreeNodes(t *testing.T) {
 	src, _ := stA.CreateSource(5)
 	send(t, src, []byte("multicast"))
 	for i, k := range sinks {
-		m, err := k.ConsumeTimeout(2 * time.Second)
+		m, err := consumeWithin(k, 2*time.Second)
 		if err != nil {
 			t.Fatalf("sink %d: %v", i, err)
 		}
@@ -375,8 +358,8 @@ func TestLossyLinkBestEffort(t *testing.T) {
 	defer c.Close()
 	sessA, _ := c.Node("a").InitSession()
 	sessB, _ := c.Node("b").InitSession()
-	stA, _ := sessA.CreateStream(insane.Options{})
-	stB, _ := sessB.CreateStream(insane.Options{})
+	stA, _ := sessA.CreateStreamOpts()
+	stB, _ := sessB.CreateStreamOpts()
 	sink, _ := stB.CreateSink(1, nil)
 
 	// The SUB itself may be lost: keep re-creating sinks until the
@@ -399,7 +382,7 @@ func TestLossyLinkBestEffort(t *testing.T) {
 	}
 	received := 0
 	for {
-		m, err := sink.ConsumeTimeout(100 * time.Millisecond)
+		m, err := consumeWithin(sink, 100*time.Millisecond)
 		if err != nil {
 			break
 		}

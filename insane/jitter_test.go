@@ -23,8 +23,8 @@ func TestWireJitterSpreadsLatencies(t *testing.T) {
 
 	sessA, _ := c.Node("a").InitSession()
 	sessB, _ := c.Node("b").InitSession()
-	stA, _ := sessA.CreateStream(insane.Options{})
-	stB, _ := sessB.CreateStream(insane.Options{})
+	stA, _ := sessA.CreateStreamOpts()
+	stB, _ := sessB.CreateStreamOpts()
 	sink, _ := stB.CreateSink(1, nil)
 	waitSubs(t, c.Node("a"), 1, 1)
 	src, _ := stA.CreateSource(1)
@@ -32,7 +32,7 @@ func TestWireJitterSpreadsLatencies(t *testing.T) {
 	distinct := map[time.Duration]bool{}
 	for i := 0; i < 100; i++ {
 		send(t, src, []byte{byte(i)})
-		m, err := sink.ConsumeTimeout(2 * time.Second)
+		m, err := consumeWithin(sink, 2*time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,17 +60,17 @@ func TestCustomMapper(t *testing.T) {
 	sess, _ := c.Node("a").InitSession()
 
 	// A strategy that always prefers XDP, against the default's RDMA.
-	st, err := sess.CreateStream(insane.Options{
-		Datapath: insane.Fast,
-		Mapper: func(available []string) string {
+	st, err := sess.CreateStreamOpts(
+		insane.WithDatapath(insane.Fast),
+		insane.WithMapper(func(available []string) string {
 			for _, name := range available {
 				if name == "xdp" {
 					return name
 				}
 			}
 			return ""
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,28 +79,28 @@ func TestCustomMapper(t *testing.T) {
 	}
 
 	// Returning "" delegates to the default strategy.
-	st2, _ := sess.CreateStream(insane.Options{
-		Datapath: insane.Fast,
-		Mapper:   func([]string) string { return "" },
-	})
+	st2, _ := sess.CreateStreamOpts(
+		insane.WithDatapath(insane.Fast),
+		insane.WithMapper(func([]string) string { return "" }),
+	)
 	if st2.Technology() != "rdma" {
 		t.Errorf("delegating mapper broke default: %s", st2.Technology())
 	}
 
 	// An unknown name degrades to the default, best effort.
-	st3, _ := sess.CreateStream(insane.Options{
-		Datapath: insane.Fast,
-		Mapper:   func([]string) string { return "quantum-nic" },
-	})
+	st3, _ := sess.CreateStreamOpts(
+		insane.WithDatapath(insane.Fast),
+		insane.WithMapper(func([]string) string { return "quantum-nic" }),
+	)
 	if st3.Technology() != "rdma" {
 		t.Errorf("unknown pick broke default: %s", st3.Technology())
 	}
 
 	// Deliberately picking the kernel for a fast stream is a fallback.
-	st4, _ := sess.CreateStream(insane.Options{
-		Datapath: insane.Fast,
-		Mapper:   func([]string) string { return "kernel-udp" },
-	})
+	st4, _ := sess.CreateStreamOpts(
+		insane.WithDatapath(insane.Fast),
+		insane.WithMapper(func([]string) string { return "kernel-udp" }),
+	)
 	if st4.Technology() != "kernel-udp" || !st4.FellBack() {
 		t.Errorf("kernel pick: %s fallback=%v, want kernel-udp true", st4.Technology(), st4.FellBack())
 	}

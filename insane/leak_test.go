@@ -45,7 +45,7 @@ func TestNoGoroutineLeakOnClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rxStream, err := rx.CreateStream(insane.Options{})
+	rxStream, err := rx.CreateStreamOpts()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestNoGoroutineLeakOnClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	txStream, err := tx.CreateStream(insane.Options{})
+	txStream, err := tx.CreateStreamOpts()
 	if err != nil {
 		t.Fatal(err)
 	}

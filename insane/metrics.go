@@ -14,8 +14,9 @@ type LatencyStats struct {
 	Count uint64
 	// Mean is the arithmetic mean latency.
 	Mean time.Duration
-	// P50, P90, P99 are latency quantile upper bounds.
-	P50, P90, P99 time.Duration
+	// P50, P90, P99, P999 are latency quantile upper bounds; P999 is the
+	// tail the timing-isolation guarantee (§12) is stated against.
+	P50, P90, P99, P999 time.Duration
 	// Max is an upper bound of the largest observation.
 	Max time.Duration
 }
@@ -97,6 +98,39 @@ type Metrics struct {
 	// SchedQueueDepth is the packets parked in the schedulers at
 	// snapshot time.
 	SchedQueueDepth uint64
+
+	// Tenants holds the per-tenant view for nodes with declared tenants
+	// (DESIGN.md §12); empty in single-tenant mode.
+	Tenants []TenantMetrics
+}
+
+// TenantMetrics is one tenant's slice of a node's telemetry plus its
+// quota gauges.
+type TenantMetrics struct {
+	// Tenant is the tenant the row describes.
+	Tenant TenantID
+	// Weight is the tenant's configured WDRR share.
+	Weight int
+
+	// Emit admission, as seen by this tenant's sessions.
+	Emits, EmitBytes, EmitBackpressure uint64
+	// QuotaRejects counts admissions refused by the tenant's own quotas
+	// (slot budget or TX token cap).
+	QuotaRejects uint64
+	// Consume side.
+	Consumes, ConsumeBytes uint64
+	// DroppedBackpressure counts deliveries dropped on this tenant's
+	// full sink rings.
+	DroppedBackpressure uint64
+
+	// ConsumeLatency is the end-to-end latency observed by this tenant's
+	// sinks (P999 is the timing-isolation figure of merit).
+	ConsumeLatency LatencyStats
+
+	// MemUsed/MemLimit are the slot budget gauges (limit 0 = unlimited).
+	MemUsed, MemLimit int64
+	// TxInflight/TxLimit are the TX token gauges (limit 0 = unlimited).
+	TxInflight, TxLimit int64
 }
 
 // latencyStats converts a histogram snapshot to the public summary.
@@ -107,6 +141,7 @@ func latencyStats(h *telemetry.HistSnapshot) LatencyStats {
 		P50:   time.Duration(h.Quantile(0.50)),
 		P90:   time.Duration(h.Quantile(0.90)),
 		P99:   time.Duration(h.Quantile(0.99)),
+		P999:  time.Duration(h.Quantile(0.999)),
 		Max:   time.Duration(h.Max()),
 	}
 }
@@ -176,6 +211,24 @@ func (n *Node) Metrics() Metrics {
 			SlotSize: size,
 			Capacity: s.Mempool.CapSlots[i],
 			Free:     s.Mempool.FreeSlots[i],
+		})
+	}
+	for _, ts := range n.rt.TenantSnapshots() {
+		m.Tenants = append(m.Tenants, TenantMetrics{
+			Tenant:              TenantID(ts.Tenant),
+			Weight:              ts.Weight,
+			Emits:               ts.Snap.Counters[telemetry.CtrEmits],
+			EmitBytes:           ts.Snap.Counters[telemetry.CtrEmitBytes],
+			EmitBackpressure:    ts.Snap.Counters[telemetry.CtrEmitBackpressure],
+			QuotaRejects:        ts.Snap.Counters[telemetry.CtrTenantQuotaRejects],
+			Consumes:            ts.Snap.Counters[telemetry.CtrConsumes],
+			ConsumeBytes:        ts.Snap.Counters[telemetry.CtrConsumeBytes],
+			DroppedBackpressure: ts.Snap.Counters[telemetry.CtrRingFullDrops],
+			ConsumeLatency:      latencyStats(&ts.Snap.Hists[telemetry.HistConsumeLatency]),
+			MemUsed:             ts.MemUsed,
+			MemLimit:            ts.MemLimit,
+			TxInflight:          ts.Inflight,
+			TxLimit:             ts.InflightLimit,
 		})
 	}
 	return m

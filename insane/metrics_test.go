@@ -92,7 +92,7 @@ func TestMetricsConcurrentPublishers(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < total; i++ {
-			m, err := sink.ConsumeTimeout(5 * time.Second)
+			m, err := consumeWithin(sink, 5*time.Second)
 			if err != nil {
 				t.Errorf("consume %d: %v", i, err)
 				return
@@ -169,7 +169,7 @@ func TestMetricsTelemetryDisabled(t *testing.T) {
 	waitSubs(t, c.Node("edge-1"), 3, 1)
 	src, _ := txStream.CreateSource(3)
 	send(t, src, []byte("quiet"))
-	m, err := sink.ConsumeTimeout(2 * time.Second)
+	m, err := consumeWithin(sink, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	src, _ := txStream.CreateSource(5)
 	for i := 0; i < 10; i++ {
 		send(t, src, []byte("scrape me"))
-		m, err := sink.ConsumeTimeout(2 * time.Second)
+		m, err := consumeWithin(sink, 2*time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -479,16 +479,9 @@ func TestErrorSentinels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sink, err := st.CreateSink(2, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := sink.Consume(false); err != insane.ErrNoData {
-		t.Errorf("empty consume = %v, want ErrNoData by value", err)
-	}
-	if _, err := sink.ConsumeTimeout(time.Millisecond); err != insane.ErrTimeout {
-		t.Errorf("timed-out consume = %v, want ErrTimeout by value", err)
-	}
+	// The ErrNoData / ErrTimeout by-value rows live in compat_test.go:
+	// only the deprecated Consume/ConsumeTimeout calls can surface them
+	// (ConsumeContext maps both cases to context errors).
 
 	src, err := st.CreateSource(2)
 	if err != nil {
@@ -538,12 +531,12 @@ func TestFunctionalOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaStruct, err := sess.CreateStream(insane.Options{
+	viaStruct, err := sess.CreateStreamOpts(insane.WithOptions(insane.Options{
 		Datapath:  insane.Fast,
 		Resources: insane.Frugal,
 		Timing:    insane.TimeSensitive,
 		Class:     5,
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,12 +51,25 @@ func WithRunToCompletion(enabled bool) Option {
 	return func(o *Options) { o.RunToCompletion = enabled }
 }
 
-// CreateStreamOpts opens a stream from functional options; it is
-// equivalent to CreateStream with the assembled Options struct.
+// WithOptions replaces the whole contract with an assembled Options
+// struct; later options still apply on top. It is the bridge for code
+// that builds Options programmatically (and for the deprecated
+// CreateStream signature, which is now a wrapper over it).
+func WithOptions(o Options) Option {
+	return func(dst *Options) { *dst = o }
+}
+
+// CreateStreamOpts opens a stream from functional options; the runtime
+// maps the assembled QoS contract to the most appropriate technology
+// available on this node. This is the preferred stream constructor.
 func (s *Session) CreateStreamOpts(opts ...Option) (*Stream, error) {
 	var o Options
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return s.CreateStream(o)
+	h, err := s.conn.OpenStream(o.toQoS())
+	if err != nil {
+		return nil, publicErr(err)
+	}
+	return &Stream{sess: s, h: h}, nil
 }

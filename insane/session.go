@@ -131,14 +131,23 @@ type Session struct {
 	sinks []*Sink
 }
 
-// InitSession opens a session with the node's runtime.
-func (n *Node) InitSession() (*Session, error) {
-	conn, err := n.rt.Connect()
+// InitSession opens a session with the node's runtime. Options bind the
+// session to a tenant (WithTenant); with none it runs under the default
+// tenant, exactly as before options existed.
+func (n *Node) InitSession(opts ...SessionOption) (*Session, error) {
+	var sc sessionConfig
+	for _, opt := range opts {
+		opt(&sc)
+	}
+	conn, err := n.rt.ConnectTenant(string(sc.tenant))
 	if err != nil {
 		return nil, publicErr(err)
 	}
 	return &Session{conn: conn}, nil
 }
+
+// Tenant returns the tenant the session is bound to ("" = default).
+func (s *Session) Tenant() TenantID { return TenantID(s.conn.Tenant()) }
 
 // Close ends the session: every stream, source and sink opened through it
 // is closed and all borrowed memory returns to the runtime. Close is
@@ -159,12 +168,12 @@ func (s *Session) Close() error {
 
 // CreateStream opens a stream with the given QoS options; the runtime
 // maps it to the most appropriate technology available on this node.
+//
+// Deprecated: use CreateStreamOpts with functional options (WithOptions
+// wraps an existing Options struct); this signature remains for the
+// paper's create_stream(options) shape.
 func (s *Session) CreateStream(opts Options) (*Stream, error) {
-	h, err := s.conn.OpenStream(opts.toQoS())
-	if err != nil {
-		return nil, publicErr(err)
-	}
-	return &Stream{sess: s, h: h}, nil
+	return s.CreateStreamOpts(WithOptions(opts))
 }
 
 // Stream is an open stream: a set of quality requirements shared by its

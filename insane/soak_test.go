@@ -50,7 +50,7 @@ func TestSoakNoSlotLeaks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		subStream, err := subSess.CreateStream(opts)
+		subStream, err := subSess.CreateStreamOpts(insane.WithOptions(opts))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func TestSoakNoSlotLeaks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pubStream, err := pubSess.CreateStream(opts)
+		pubStream, err := pubSess.CreateStreamOpts(insane.WithOptions(opts))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func TestSoakNoSlotLeaks(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			msg, err := sink.ConsumeTimeout(2 * time.Second)
+			msg, err := consumeWithin(sink, 2*time.Second)
 			if err != nil {
 				t.Fatalf("iter %d msg %d: %v", i, m, err)
 			}
@@ -162,7 +162,7 @@ func TestSoakWarningsBounded(t *testing.T) {
 	defer cluster.Close()
 	for i := 0; i < 20; i++ {
 		sess, _ := cluster.Nodes()[i%2].InitSession()
-		st, _ := sess.CreateStream(insane.Options{Datapath: insane.Fast})
+		st, _ := sess.CreateStreamOpts(insane.WithDatapath(insane.Fast))
 		if st.FellBack() {
 			t.Fatal("unexpected fallback")
 		}
@@ -187,7 +187,7 @@ func TestManyChannelsFanIn(t *testing.T) {
 	defer cluster.Close()
 
 	hubSess, _ := cluster.Node("hub").InitSession()
-	hubStream, _ := hubSess.CreateStream(insane.Options{})
+	hubStream, _ := hubSess.CreateStreamOpts()
 	const channels = 16
 	sinks := make([]*insane.Sink, channels)
 	for ch := 0; ch < channels; ch++ {
@@ -199,7 +199,7 @@ func TestManyChannelsFanIn(t *testing.T) {
 	}
 
 	spokeSess, _ := cluster.Node("spoke").InitSession()
-	spokeStream, _ := spokeSess.CreateStream(insane.Options{})
+	spokeStream, _ := spokeSess.CreateStreamOpts()
 	deadline := time.Now().Add(3 * time.Second)
 	for ch := 0; ch < channels; ch++ {
 		for cluster.Node("spoke").SubscriberCount(700+ch) == 0 {
@@ -224,7 +224,7 @@ func TestManyChannelsFanIn(t *testing.T) {
 		}
 	}
 	for ch, k := range sinks {
-		m, err := k.ConsumeTimeout(2 * time.Second)
+		m, err := consumeWithin(k, 2*time.Second)
 		if err != nil {
 			t.Fatalf("channel %d: %v", ch, err)
 		}

@@ -1,0 +1,52 @@
+// Public tenant API (DESIGN.md §12). Tenants are declared up front in
+// ClusterOptions and bound at session creation with
+// InitSession(WithTenant(...)); everything else — slot budgets, TX token
+// caps, weighted egress shares, class ceilings, per-tenant telemetry —
+// follows from that binding with no further application code.
+
+package insane
+
+// TenantID names a tenant declared in ClusterOptions.Tenants. The zero
+// value is the implicit default tenant: unlimited, weight 1, no
+// dedicated telemetry.
+type TenantID string
+
+// TenantSpec declares one tenant and its isolation envelope. Every
+// field except Name is optional; a zero value means "unlimited" (or
+// weight 1), so a spec can start as just a name and tighten later.
+type TenantSpec struct {
+	// ID names the tenant; sessions bind to it with WithTenant.
+	ID TenantID
+	// Weight is the tenant's share of best-effort egress bandwidth under
+	// the weighted deficit round-robin scheduler (default 1). Weights
+	// are relative: a weight-4 tenant gets 4× the egress of a weight-1
+	// tenant while both are backlogged.
+	Weight int
+	// MemSlots caps how many memory-pool slots the tenant's sessions may
+	// hold at once across GetBuffer and in-flight deliveries
+	// (0 = unlimited). Exhaustion surfaces as ErrTenantQuota.
+	MemSlots int
+	// TxTokens caps the tenant's emitted-but-not-yet-dispatched
+	// messages (0 = unlimited). Exhaustion surfaces as ErrTenantQuota.
+	TxTokens int
+	// MaxClass ceilings the 802.1Qbv traffic class the tenant's streams
+	// may request (0 = unrestricted). Streams asking for more are
+	// clamped with a node warning, mirroring the QoS fallback idiom.
+	MaxClass uint8
+}
+
+// SessionOption configures InitSession.
+type SessionOption func(*sessionConfig)
+
+// sessionConfig collects the session options before Connect.
+type sessionConfig struct {
+	tenant TenantID
+}
+
+// WithTenant binds the session to a declared tenant. Sessions without
+// this option run under the default tenant (no quotas, weight 1).
+// Binding to an undeclared tenant fails InitSession with
+// ErrUnknownTenant.
+func WithTenant(id TenantID) SessionOption {
+	return func(c *sessionConfig) { c.tenant = id }
+}

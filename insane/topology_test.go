@@ -58,7 +58,7 @@ func TestRandomTopologiesDeliver(t *testing.T) {
 					t.Fatal(err)
 				}
 				defer sess.Close()
-				st, err := sess.CreateStream(opts)
+				st, err := sess.CreateStreamOpts(insane.WithOptions(opts))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -81,7 +81,7 @@ func TestRandomTopologiesDeliver(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer sess.Close()
-			st, err := sess.CreateStream(opts)
+			st, err := sess.CreateStreamOpts(insane.WithOptions(opts))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,7 +111,7 @@ func TestRandomTopologiesDeliver(t *testing.T) {
 			}
 			for si, k := range sinks {
 				for m := 0; m < msgs; m++ {
-					d, err := k.ConsumeTimeout(2 * time.Second)
+					d, err := consumeWithin(k, 2*time.Second)
 					if err != nil {
 						t.Fatalf("sink %d, msg %d: %v", si, m, err)
 					}

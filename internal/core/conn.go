@@ -54,6 +54,9 @@ type txToken struct {
 	src     *SourceHandle
 	vtime   timebase.VTime
 	bd      fabric.Breakdown
+	// ten is the emitting session's tenant (nil = default): the poller
+	// uncharges the in-flight TX token and tags the packet with it.
+	ten *tenant
 	// noTel opts the message out of the latency histograms (stream-level
 	// telemetry opt-out; counters still run).
 	noTel bool
@@ -81,11 +84,22 @@ const rxRingDepth = 1024
 type ClientConn struct {
 	rt *Runtime
 	id mempool.Owner
+	// ten is the session's tenant binding, fixed at ConnectTenant (nil =
+	// the default tenant: no quotas, no per-tenant telemetry).
+	ten *tenant
 
 	mu      sync.Mutex
 	lanes   map[model.Tech]*txLane
 	streams map[uint64]*StreamHandle
 	closed  bool
+}
+
+// Tenant returns the session's tenant name ("" for the default tenant).
+func (c *ClientConn) Tenant() string {
+	if c.ten == nil {
+		return ""
+	}
+	return c.ten.name
 }
 
 // Owner returns the session's memory-pool owner id.
@@ -139,6 +153,14 @@ func (c *ClientConn) OpenStream(opts qos.Options) (*StreamHandle, error) {
 		return nil, ErrClosed
 	}
 	c.mu.Unlock()
+
+	// Tenant class ceiling: a tenant may not claim a higher 802.1Qbv
+	// class than declared for it — clamp and warn, mirroring the QoS
+	// mapper's fallback idiom rather than failing the stream.
+	if t := c.ten; t != nil && t.spec.MaxClass != 0 && opts.Class > t.spec.MaxClass {
+		c.rt.warnf("stream: tenant %q requested class %d above its ceiling %d; clamping", t.name, opts.Class, t.spec.MaxClass)
+		opts.Class = t.spec.MaxClass
+	}
 
 	tech, fellBack := qos.Map(opts, c.rt.EffectiveCaps())
 	if fellBack {
@@ -300,6 +322,7 @@ func (h *StreamHandle) CreateSource(channel uint32) (*SourceHandle, error) {
 		shard:   h.conn.rt.tel.AssignShard(),
 		noTel:   h.opts.NoTelemetry,
 		rtc:     h.opts.RunToCompletion,
+		ten:     h.conn.ten,
 	}
 	if s.rtc && h.opts.Timing == qos.TimingSensitive {
 		// Cache the stream technology's time-aware shaper so the RTC
@@ -333,6 +356,7 @@ func (h *StreamHandle) CreateSink(channel uint32) (*SinkHandle, error) {
 		notify:  make(chan struct{}, 1),
 		shard:   h.conn.rt.tel.AssignShard(),
 		noTel:   h.opts.NoTelemetry,
+		ten:     h.conn.ten,
 	}
 	if err := h.conn.rt.registerSink(k); err != nil {
 		return nil, err
@@ -402,6 +426,9 @@ type SourceHandle struct {
 	noTel bool
 	// rtc opts Emit into the run-to-completion fast path (DESIGN.md §11).
 	rtc bool
+	// ten caches the session's tenant binding (nil = default tenant) so
+	// the Emit/GetBuffer quota checks skip a pointer chase.
+	ten *tenant
 	// gate is the stream technology's 802.1Qbv shaper, cached only for
 	// RTC time-sensitive sources so the admission check is one immutable
 	// read, no scheduler lock.
@@ -415,15 +442,26 @@ type SourceHandle struct {
 // Channel returns the source's channel id.
 func (s *SourceHandle) Channel() uint32 { return s.channel }
 
-// GetBuffer borrows a zero-copy buffer able to hold size payload bytes.
+// GetBuffer borrows a zero-copy buffer able to hold size payload bytes,
+// charged against the session tenant's slot budget (mempool.ErrQuota
+// when the tenant is at its cap; the public layer maps it to
+// ErrTenantQuota).
 //
 //insane:hotpath
 func (s *SourceHandle) GetBuffer(size int) (*Buffer, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	slot, buf, err := s.stream.conn.rt.mm.Get(MsgHeadroom+size, s.stream.conn.id)
+	var budget *mempool.Budget
+	if s.ten != nil {
+		budget = s.ten.budget
+	}
+	slot, buf, err := s.stream.conn.rt.mm.GetBudget(MsgHeadroom+size, s.stream.conn.id, budget)
 	if err != nil {
+		if s.ten != nil && errors.Is(err, mempool.ErrQuota) {
+			s.ten.shard.Inc(telemetry.CtrTenantQuotaRejects)
+			s.shard.Inc(telemetry.CtrTenantQuotaRejects)
+		}
 		return nil, err
 	}
 	b := bufferPool.Get().(*Buffer)
@@ -469,6 +507,15 @@ func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 		s.shard.Inc(telemetry.CtrRTCFallbacks)
 	}
 	st := s.stream
+	// Tenant admission: the queued path holds a TX token from here until
+	// the poller dispatches (or drops) the message; a tenant at its
+	// in-flight cap is rejected before touching the ring. RTC deliveries
+	// above never queue, so they bypass the token quota by design.
+	if ten := s.ten; ten != nil && !ten.chargeTX() {
+		ten.shard.Inc(telemetry.CtrTenantQuotaRejects)
+		s.shard.Inc(telemetry.CtrTenantQuotaRejects)
+		return 0, ErrTenantQuota
+	}
 	encodeHeader(b.buf[headroomOffset:], header{
 		kind:    kindData,
 		channel: s.channel,
@@ -485,6 +532,7 @@ func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 		src:     s,
 		vtime:   b.VTime,
 		bd:      b.Breakdown,
+		ten:     s.ten,
 		noTel:   s.noTel,
 	}
 	// The IPC hop: the token crosses the client→runtime ring.
@@ -494,6 +542,10 @@ func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 	tok.bd.Send += d
 	if !s.lane.push(tok) {
 		// Backpressure: the caller keeps buffer ownership and may retry.
+		if ten := s.ten; ten != nil {
+			ten.unchargeTX()
+			ten.shard.Inc(telemetry.CtrEmitBackpressure)
+		}
 		s.shard.Inc(telemetry.CtrEmitBackpressure)
 		return 0, ErrBackpressure
 	}
@@ -503,6 +555,10 @@ func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 	bufferPool.Put(b)
 	s.shard.Inc(telemetry.CtrEmits)
 	s.shard.Add(telemetry.CtrEmitBytes, uint64(n))
+	if ten := s.ten; ten != nil {
+		ten.shard.Inc(telemetry.CtrEmits)
+		ten.shard.Add(telemetry.CtrEmitBytes, uint64(n))
+	}
 	s.stream.conn.rt.kickTX()
 	return seq, nil
 }
@@ -557,6 +613,9 @@ type SinkHandle struct {
 	// shard is the telemetry stripe Consume records into.
 	shard *telemetry.Shard
 	noTel bool
+	// ten is the consuming session's tenant (nil = default): Consume
+	// mirrors its counters and latency histogram into the tenant domain.
+	ten *tenant
 }
 
 // Channel returns the sink's channel id.
@@ -592,12 +651,19 @@ func (k *SinkHandle) TryConsume() (*Delivery, error) {
 	}
 	k.shard.Inc(telemetry.CtrConsumes)
 	k.shard.Add(telemetry.CtrConsumeBytes, uint64(tok.length))
+	if ten := k.ten; ten != nil {
+		ten.shard.Inc(telemetry.CtrConsumes)
+		ten.shard.Add(telemetry.CtrConsumeBytes, uint64(tok.length))
+	}
 	if !k.noTel {
 		k.shard.Observe(telemetry.HistConsumeLatency, int64(tok.vtime))
 		k.shard.Observe(telemetry.HistStageSend, int64(tok.bd.Send))
 		k.shard.Observe(telemetry.HistStageNetwork, int64(tok.bd.Network))
 		k.shard.Observe(telemetry.HistStageRecv, int64(tok.bd.Recv))
 		k.shard.Observe(telemetry.HistStageProcessing, int64(tok.bd.Processing))
+		if ten := k.ten; ten != nil {
+			ten.shard.Observe(telemetry.HistConsumeLatency, int64(tok.vtime))
+		}
 	}
 	return d, nil
 }

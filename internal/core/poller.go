@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"github.com/insane-mw/insane/internal/datapath"
@@ -20,6 +21,16 @@ const (
 	idleSleepMax = 200 * time.Microsecond
 )
 
+// gateSpinHorizon bounds the busy-wait a poller runs up to the next
+// 802.1Qbv gate opening. Go timers on a parked process fire with
+// roughly millisecond slop — far wider than a 50µs gate window — so a
+// timer-paced poller misses open windows whole cycles at a time and a
+// quiet TSN tenant's tail collapses to milliseconds. Inside this horizon
+// the poller yields instead of sleeping, hitting the gate edge with
+// scheduler-quantum precision; waits beyond it (parked packets behind a
+// long-closed gate) still sleep and leave the CPU alone.
+const gateSpinHorizon = time.Millisecond
+
 // outMeta rides along an outgoing packet to report its fate back to the
 // emitting source.
 type outMeta struct {
@@ -30,6 +41,9 @@ type outMeta struct {
 	// enqVT is the scheduler-enqueue timestamp on the runtime clock;
 	// dispatch turns it into the scheduler-dwell histogram sample.
 	enqVT timebase.VTime
+	// ten is the emitting session's tenant (nil = default): dispatch
+	// uncharges the in-flight TX token against it.
+	ten *tenant
 	// noTel opts the packet out of the latency histograms (stream-level
 	// WithTelemetry(false); counters still run).
 	noTel bool
@@ -69,13 +83,23 @@ func (r *Runtime) pollLoop(p *poller) {
 		p.loops.Add(1)
 		work := 0
 		gated := false
+		var nextGate timebase.VTime
 		//insane:bounded by=one entry per registered technology, fixed at runtime construction
 		for i, st := range p.states {
 			work += r.drainTX(p, &p.snaps[i], st)
 			work += r.pollRX(p, st)
 			st.schedMu.Lock()
-			if st.tas.Pending() > 0 {
+			if st.tas.Pending() > 0 || st.wdrr.Pending() > 0 {
 				gated = true
+				// Earliest gate opening across both schedulers; zero
+				// means something queued is already eligible.
+				gateNow := r.clock.Now()
+				if e := st.tas.NextEvent(gateNow); e != 0 && (nextGate == 0 || e.Before(nextGate)) {
+					nextGate = e
+				}
+				if e := st.wdrr.NextEvent(gateNow); e != 0 && (nextGate == 0 || e.Before(nextGate)) {
+					nextGate = e
+				}
 			}
 			st.schedMu.Unlock()
 		}
@@ -85,9 +109,19 @@ func (r *Runtime) pollLoop(p *poller) {
 		}
 		sleep := backoff
 		if gated {
-			// Time-sensitive packets are waiting for their 802.1Qbv
-			// gate: poll finely so the open window is not missed.
-			sleep = idleSleepMin
+			// Time-sensitive packets are waiting for their 802.1Qbv gate.
+			// Timer wakeups are too coarse to hit a gate window reliably:
+			// spin to a near edge, sleep toward a far one.
+			backoff = idleSleepMin
+			wait := time.Duration(0)
+			if nextGate != 0 {
+				wait = nextGate.Sub(r.clock.Now())
+			}
+			if wait <= gateSpinHorizon {
+				runtime.Gosched()
+				continue
+			}
+			sleep = wait - gateSpinHorizon
 		}
 		timer.Reset(sleep)
 		select {
@@ -236,11 +270,14 @@ func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
 		}
 	}
 
-	// 2. Dequeue what the schedulers release at the current time.
+	// 2. Dequeue what the schedulers release at the current time. The
+	// time-aware shaper goes first: its packets carry the hard timing
+	// contract, so a burst never fills up with best-effort traffic while
+	// a gate-open TSN packet waits.
 	batch := p.batch
 	st.schedMu.Lock()
-	n := st.fifo.Dequeue(batch, now)
-	n += st.tas.Dequeue(batch[n:], now)
+	n := st.tas.Dequeue(batch, now)
+	n += st.wdrr.Dequeue(batch[n:], now)
 	st.schedMu.Unlock()
 	if n == 0 {
 		return pulled
@@ -261,9 +298,17 @@ func (r *Runtime) drainTX(p *poller, snap *txSnap, st *techState) int {
 func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken, now timebase.VTime) {
 	buf, err := r.mm.Buf(tok.slot)
 	if err != nil {
-		// The session died between Emit and drain; nothing to send.
+		// The session died between Emit and drain; nothing to send. The
+		// tenant's TX token is done traveling either way.
+		if tok.ten != nil {
+			tok.ten.unchargeTX()
+		}
 		tok.src.recordOutcome(Outcome{Seq: tok.seq, Err: err})
 		return
+	}
+	var tenIdx uint16
+	if tok.ten != nil {
+		tenIdx = uint16(tok.ten.index)
 	}
 	env := p.envs.Get()
 	env.pkt = datapath.Packet{
@@ -272,6 +317,7 @@ func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken, now timeba
 		Off:       headroomOffset,
 		Len:       tok.msgLen,
 		Class:     tok.class,
+		Tenant:    tenIdx,
 		Src:       st.local,
 		VTime:     tok.vtime,
 		Breakdown: tok.bd,
@@ -279,7 +325,7 @@ func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken, now timeba
 	}
 	env.meta = outMeta{
 		src: tok.src, seq: tok.seq, channel: tok.channel, timing: tok.timing,
-		enqVT: now, noTel: tok.noTel,
+		enqVT: now, ten: tok.ten, noTel: tok.noTel,
 	}
 	env.pkt.Charge(r.rc.Sched, tok.msgLen, 1, r.tb)
 	p.shard.Inc(telemetry.CtrSchedEnqueues)
@@ -287,7 +333,7 @@ func (r *Runtime) enqueueToken(p *poller, st *techState, tok txToken, now timeba
 	if tok.timing == qos.TimingSensitive {
 		st.tas.Enqueue(&env.pkt, now)
 	} else {
-		st.fifo.Enqueue(&env.pkt, 0)
+		st.wdrr.Enqueue(&env.pkt, now)
 	}
 	st.schedMu.Unlock()
 }
@@ -339,6 +385,11 @@ func (r *Runtime) dispatch(p *poller, st *techState, batch []*datapath.Packet, n
 		})
 		if sent > 0 {
 			p.shard.Add(telemetry.CtrTxMessages, uint64(sent))
+		}
+		// The message left the scheduler: its in-flight TX token returns
+		// to the emitting tenant.
+		if meta.ten != nil {
+			meta.ten.unchargeTX()
 		}
 		_ = r.mm.Release(pkt.Slot)
 		env.pkt.Buf = nil
@@ -434,6 +485,9 @@ func (r *Runtime) deliverLocal(p *poller, pkt *datapath.Packet, channel uint32, 
 		if !k.ring.TryPush(tok) {
 			_ = r.mm.Release(pkt.Slot)
 			p.shard.Inc(telemetry.CtrRingFullDrops)
+			if k.ten != nil {
+				k.ten.shard.Inc(telemetry.CtrRingFullDrops)
+			}
 			continue
 		}
 		p.shard.Inc(telemetry.CtrLocalDeliveries)
@@ -544,6 +598,9 @@ func (r *Runtime) deliverRemote(p *poller, pkt *datapath.Packet, channel uint32,
 		if !k.ring.TryPush(tok) {
 			_ = r.mm.Release(pkt.Slot)
 			p.shard.Inc(telemetry.CtrRingFullDrops)
+			if k.ten != nil {
+				k.ten.shard.Inc(telemetry.CtrRingFullDrops)
+			}
 			continue
 		}
 		if !k.noTel {

@@ -97,6 +97,12 @@ func (s *SourceHandle) emitRTC(b *Buffer, n int, seq uint32) bool {
 	s.recordOutcome(Outcome{Seq: seq, LocalSinks: len(sinks)})
 	s.shard.Inc(telemetry.CtrEmits)
 	s.shard.Add(telemetry.CtrEmitBytes, uint64(n))
+	// RTC deliveries never queue, so they bypass the TX token quota, but
+	// the tenant's emit counters must still see them.
+	if ten := s.ten; ten != nil {
+		ten.shard.Inc(telemetry.CtrEmits)
+		ten.shard.Add(telemetry.CtrEmitBytes, uint64(n))
+	}
 	// Ownership of the slot moved to the sinks; recycle the dead wrapper
 	// (same contract as the queued Emit).
 	*b = Buffer{}

@@ -49,6 +49,10 @@ type Config struct {
 	// GCL is the 802.1Qbv gate control list for time-sensitive streams
 	// (default sched.DefaultGCL).
 	GCL sched.GCL
+	// Tenants declares the runtime's tenants (DESIGN.md §12). Sessions
+	// bind to one via ConnectTenant; an empty list runs the runtime in
+	// single-tenant mode with zero per-packet tenant overhead.
+	Tenants []TenantSpec
 	// SharedPoller runs every datapath plugin on a single polling
 	// thread (lowest resource usage); the default dedicates one thread
 	// per plugin (§5.3: the mapping is configurable).
@@ -110,7 +114,7 @@ type techState struct {
 	// schedMu guards the schedulers when several pollers serve this
 	// plugin (§8's multi-threaded datapath).
 	schedMu sync.Mutex
-	fifo    *sched.FIFO
+	wdrr    *sched.WDRR
 	tas     *sched.TAS
 
 	// consumers is how many polling threads drain this technology's TX
@@ -130,6 +134,11 @@ type Runtime struct {
 	subs  *subTable
 	techs map[model.Tech]*techState
 	burst int
+
+	// tenants is the immutable tenant registry (index 0 = the implicit
+	// default tenant); nil in single-tenant mode.
+	tenants      []*tenant
+	tenantByName map[string]*tenant
 
 	mu     sync.RWMutex
 	conns  map[mempool.Owner]*ClientConn
@@ -230,6 +239,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	tenants, byName, err := buildTenants(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
 
 	r := &Runtime{
 		cfg:   cfg,
@@ -243,6 +256,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		burst: burst,
 		conns: make(map[mempool.Owner]*ClientConn),
 		sinks: make(map[uint32][]*SinkHandle),
+
+		tenants:      tenants,
+		tenantByName: byName,
 	}
 	r.publishSinksLocked()
 	r.envPool, err = mempool.NewCachePool(envSharedCap, func() *pktEnv { return new(pktEnv) })
@@ -278,12 +294,25 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Best-effort traffic goes through the WDRR tenant scheduler. Gate
+		// awareness (holding best-effort packets through protected windows)
+		// is armed only in multi-tenant mode: it is the timing-isolation
+		// guarantee of §12, and single-tenant runtimes should not pay the
+		// default GCL's protected-window latency on plain traffic.
+		var wdrrGCL sched.GCL
+		if len(tenants) > 0 {
+			wdrrGCL = gcl
+		}
+		wdrr, err := sched.NewWDRR(tenantWeights(tenants), wdrrGCL)
+		if err != nil {
+			return nil, err
+		}
 		r.techs[tech] = &techState{
 			tech:  tech,
 			info:  plugin.Info(),
 			local: local,
 			ep:    ep,
-			fifo:  sched.NewFIFO(),
+			wdrr:  wdrr,
 			tas:   tas,
 		}
 	}
@@ -388,14 +417,30 @@ func (r *Runtime) Techs() []model.Tech {
 	return out
 }
 
-// Connect opens a client session with the runtime (init_session).
+// Connect opens a client session with the runtime (init_session) under
+// the default tenant.
 func (r *Runtime) Connect() (*ClientConn, error) {
+	return r.ConnectTenant("")
+}
+
+// ConnectTenant opens a client session bound to a declared tenant; the
+// empty name selects the implicit default tenant (no quotas, weight 1).
+func (r *Runtime) ConnectTenant(name string) (*ClientConn, error) {
 	if r.stopped.Load() {
 		return nil, ErrClosed
+	}
+	var ten *tenant
+	if name != "" {
+		t, ok := r.tenantByName[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+		}
+		ten = t
 	}
 	c := &ClientConn{
 		rt:      r,
 		id:      mempool.Owner(r.nextConnID.Add(1)),
+		ten:     ten,
 		lanes:   make(map[model.Tech]*txLane),
 		streams: make(map[uint64]*StreamHandle),
 	}
@@ -498,7 +543,7 @@ func (r *Runtime) MetricsSnapshot() *telemetry.Snapshot {
 
 	for _, st := range r.techs {
 		st.schedMu.Lock()
-		s.SchedQueueDepth += uint64(st.fifo.Pending() + st.tas.Pending())
+		s.SchedQueueDepth += uint64(st.wdrr.Pending() + st.tas.Pending())
 		st.schedMu.Unlock()
 	}
 	return s

@@ -62,6 +62,11 @@ type Packet struct {
 	// Class is the traffic class (0-7) used by the TSN scheduler's gate
 	// control list; 0 is best effort.
 	Class uint8
+	// Tenant is the emitting tenant's index in the runtime's tenant
+	// table (0 = the default tenant); the weighted deficit round-robin
+	// scheduler uses it to pick the tenant queue. Like Class it is pure
+	// scheduling metadata — plugins must not touch it.
+	Tenant uint16
 	// VTime is the accumulated virtual timestamp of the packet.
 	VTime timebase.VTime
 	// Breakdown accounts the virtual time by Fig. 6 stage.

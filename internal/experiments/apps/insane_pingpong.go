@@ -6,6 +6,7 @@ package apps
 // No sockets, no frames, no mempools, no polling loops.
 
 import (
+	"context"
 	"time"
 
 	"github.com/insane-mw/insane/insane"
@@ -27,9 +28,9 @@ func InsanePingPong(cluster *insane.Cluster, payload, rounds int, fast bool) []t
 	check(err, "session B")
 	defer sessB.Close()
 
-	streamA, err := sessA.CreateStream(opts)
+	streamA, err := sessA.CreateStreamOpts(insane.WithOptions(opts))
 	check(err, "stream A")
-	streamB, err := sessB.CreateStream(opts)
+	streamB, err := sessB.CreateStreamOpts(insane.WithOptions(opts))
 	check(err, "stream B")
 
 	pingSink, err := streamB.CreateSink(pingCh, nil)
@@ -47,8 +48,12 @@ func InsanePingPong(cluster *insane.Cluster, payload, rounds int, fast bool) []t
 	serverDone := make(chan struct{})
 	go func() {
 		defer close(serverDone)
+		// One reusable deadline context keeps the echo loop on the
+		// pooled-timer (allocation-free) consume path.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
 		for i := 0; i < rounds; i++ {
-			req, err := pingSink.ConsumeTimeout(5 * time.Second)
+			req, err := pingSink.ConsumeContext(ctx)
 			if err != nil {
 				return
 			}
@@ -66,6 +71,8 @@ func InsanePingPong(cluster *insane.Cluster, payload, rounds int, fast bool) []t
 	}()
 
 	// Client: emit the ping, consume the pong, record the round trip.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
 	rtts := make([]time.Duration, 0, rounds)
 	for i := 0; i < rounds; i++ {
 		buf, err := pingSrc.GetBuffer(payload)
@@ -75,7 +82,7 @@ func InsanePingPong(cluster *insane.Cluster, payload, rounds int, fast bool) []t
 		if _, err := pingSrc.Emit(buf, payload); err != nil {
 			break
 		}
-		pong, err := pongSink.ConsumeTimeout(5 * time.Second)
+		pong, err := pongSink.ConsumeContext(ctx)
 		if err != nil {
 			break
 		}

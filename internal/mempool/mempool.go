@@ -103,6 +103,13 @@ type slotState struct {
 	owner atomic.Int32
 	// gen increments on every recycle, detecting stale-id release bugs.
 	gen atomic.Uint32
+	// budget is the tenant budget the slot is charged against, nil for
+	// unbudgeted borrows. A plain pointer is safe: it is written only by
+	// the borrower right after the exclusive free-ring pop and cleared by
+	// the final Release before the push, so the ring's atomics order
+	// every access — the same argument that makes the backing bytes safe
+	// to reuse.
+	budget *Budget
 }
 
 // pool is one size class: a contiguous backing area plus slot bookkeeping.
@@ -172,6 +179,20 @@ func NewManager(cfg Config) (*Manager, error) {
 //
 //insane:hotpath
 func (m *Manager) Get(size int, owner Owner) (SlotID, []byte, error) {
+	return m.GetBudget(size, owner, nil)
+}
+
+// GetBudget is Get with tenant accounting: the borrow is charged against
+// b (nil skips accounting entirely) and returns ErrQuota when the
+// tenant's cap is reached. The final Release — or a crash-reclaim via
+// ReleaseOwner — uncharges the budget automatically.
+//
+//insane:hotpath
+func (m *Manager) GetBudget(size int, owner Owner, b *Budget) (SlotID, []byte, error) {
+	if b != nil && !b.TryCharge() {
+		m.fails.Add(1)
+		return NoSlot, nil, ErrQuota
+	}
 	//insane:bounded by=one entry per slot-size class, fixed at manager construction
 	for pi, p := range m.pools {
 		if size > p.slotSize {
@@ -184,9 +205,13 @@ func (m *Manager) Get(size int, owner Owner) (SlotID, []byte, error) {
 		st := &p.states[idx]
 		st.refs.Store(1)
 		st.owner.Store(int32(owner))
+		st.budget = b
 		m.gets.Add(1)
 		id := makeSlotID(pi, int(idx))
 		return id, p.slotBuf(int(idx)), nil
+	}
+	if b != nil {
+		b.Uncharge()
 	}
 	m.fails.Add(1)
 	if len(m.pools) > 0 && size > m.pools[len(m.pools)-1].slotSize {
@@ -264,6 +289,10 @@ func (m *Manager) Release(id SlotID) error {
 		return fmt.Errorf("%w: double release of %v", ErrBadSlot, id)
 	}
 	if n == 0 {
+		if b := st.budget; b != nil {
+			st.budget = nil
+			b.Uncharge()
+		}
 		st.owner.Store(int32(NoOwner))
 		st.gen.Add(1)
 		m.releases.Add(1)
@@ -292,6 +321,10 @@ func (m *Manager) ReleaseOwner(owner Owner) int {
 			}
 			// Drop all outstanding references at once.
 			if refs := st.refs.Swap(0); refs > 0 {
+				if b := st.budget; b != nil {
+					st.budget = nil
+					b.Uncharge()
+				}
 				st.owner.Store(int32(NoOwner))
 				st.gen.Add(1)
 				m.releases.Add(1)

@@ -266,6 +266,7 @@ func (t *TAS) NextEvent(now timebase.VTime) timebase.VTime {
 	pos := time.Duration(now) % t.cycle
 	idx, off := t.entryAt(pos)
 	elapsed := t.gcl[idx].Duration - off // time to the end of this entry
+	//insane:bounded by=one pass over the gate-control list, fixed at construction by Validate
 	for i := 1; i <= len(t.gcl); i++ {
 		e := t.gcl[(idx+i)%len(t.gcl)]
 		if e.Gates&queued != 0 {
@@ -279,6 +280,7 @@ func (t *TAS) NextEvent(now timebase.VTime) timebase.VTime {
 // entryAt locates the GCL entry covering cycle position pos, returning its
 // index and the offset within it.
 func (t *TAS) entryAt(pos time.Duration) (int, time.Duration) {
+	//insane:bounded by=one pass over the gate-control list, fixed at construction by Validate
 	for i, e := range t.gcl {
 		if pos < e.Duration {
 			return i, pos

@@ -18,21 +18,22 @@ const MetricPrefix = "insane_"
 // counterHelp documents each counter for # HELP lines and the DESIGN.md
 // reference table.
 var counterHelp = [NumCounters]string{
-	CtrEmits:            "Messages admitted by Emit into a session TX ring.",
-	CtrEmitBytes:        "Payload bytes admitted by Emit.",
-	CtrEmitBackpressure: "Emit attempts rejected because the TX ring was full.",
-	CtrSchedEnqueues:    "Packets filed with a per-technology scheduler.",
-	CtrDispatches:       "Packets dispatched out of the schedulers.",
-	CtrTxMessages:       "Data messages sent to remote peers (per-peer sends).",
-	CtrRxMessages:       "Data messages received from the network.",
-	CtrLocalDeliveries:  "Shared-memory deliveries to co-located sinks.",
-	CtrNoSinkDrops:      "Received messages dropped for lack of a subscribed sink.",
-	CtrRingFullDrops:    "Deliveries dropped on full sink rings (backpressure).",
-	CtrTechDowngrades:   "Remote sends forced below the stream's mapped technology.",
-	CtrConsumes:         "Deliveries handed to the application by Consume.",
-	CtrConsumeBytes:     "Payload bytes handed to the application by Consume.",
-	CtrRTCDeliveries:    "Local deliveries made synchronously by the run-to-completion fast path.",
-	CtrRTCFallbacks:     "Emits on RTC-enabled streams that fell back to the queued path.",
+	CtrEmits:              "Messages admitted by Emit into a session TX ring.",
+	CtrEmitBytes:          "Payload bytes admitted by Emit.",
+	CtrEmitBackpressure:   "Emit attempts rejected because the TX ring was full.",
+	CtrSchedEnqueues:      "Packets filed with a per-technology scheduler.",
+	CtrDispatches:         "Packets dispatched out of the schedulers.",
+	CtrTxMessages:         "Data messages sent to remote peers (per-peer sends).",
+	CtrRxMessages:         "Data messages received from the network.",
+	CtrLocalDeliveries:    "Shared-memory deliveries to co-located sinks.",
+	CtrNoSinkDrops:        "Received messages dropped for lack of a subscribed sink.",
+	CtrRingFullDrops:      "Deliveries dropped on full sink rings (backpressure).",
+	CtrTechDowngrades:     "Remote sends forced below the stream's mapped technology.",
+	CtrConsumes:           "Deliveries handed to the application by Consume.",
+	CtrConsumeBytes:       "Payload bytes handed to the application by Consume.",
+	CtrRTCDeliveries:      "Local deliveries made synchronously by the run-to-completion fast path.",
+	CtrRTCFallbacks:       "Emits on RTC-enabled streams that fell back to the queued path.",
+	CtrTenantQuotaRejects: "Admissions refused by a tenant quota (slot budget or TX token cap).",
 }
 
 // histHelp documents each histogram.
@@ -72,6 +73,26 @@ func HistHelp(h HistID) string { return histHelp[h] }
 type NodeSnapshot struct {
 	Node string
 	Snap *Snapshot
+	// Tenants carries the node's per-tenant domains; empty when the node
+	// declares no tenants (single-tenant mode exports nothing extra).
+	Tenants []TenantSnapshot
+}
+
+// TenantSnapshot is one tenant's merged telemetry plus its quota gauges,
+// sampled together on the control path (DESIGN.md §12).
+type TenantSnapshot struct {
+	// Tenant is the declared tenant name (the `tenant` label value).
+	Tenant string
+	// Weight is the tenant's WDRR share.
+	Weight int
+	// Snap merges the tenant's private shard set.
+	Snap *Snapshot
+	// MemUsed/MemLimit are the mempool slot budget gauges (limit 0 =
+	// unlimited).
+	MemUsed, MemLimit int64
+	// Inflight/InflightLimit are the TX token quota gauges (limit 0 =
+	// unlimited).
+	Inflight, InflightLimit int64
 }
 
 // WriteProm renders the snapshots in Prometheus text format: one
@@ -91,7 +112,7 @@ func WriteProm(w io.Writer, nodes []NodeSnapshot) error {
 		name := HistMetricName(h)
 		bw.printf("# HELP %s %s\n# TYPE %s histogram\n", name, histHelp[h], name)
 		for _, n := range nodes {
-			writeHist(bw, name, n.Node, &n.Snap.Hists[h], LatencyHist(h))
+			writeHist(bw, name, nodeLabel(n.Node), &n.Snap.Hists[h], LatencyHist(h))
 		}
 	}
 
@@ -103,14 +124,80 @@ func WriteProm(w io.Writer, nodes []NodeSnapshot) error {
 	for _, n := range nodes {
 		bw.printf("%s{node=%q} %d\n", name, n.Node, n.Snap.SchedQueueDepth)
 	}
+
+	writeTenants(bw, nodes)
 	return bw.err
 }
 
-// writeHist renders one node's histogram series. The fine buckets are
+// tenantCounters is the per-tenant counter subset exported with a
+// tenant label; the rest of the counters are runtime-wide by nature
+// (scheduler, RX, peer TX) and stay node-level only.
+var tenantCounters = []CounterID{
+	CtrEmits, CtrEmitBytes, CtrEmitBackpressure, CtrTenantQuotaRejects,
+	CtrConsumes, CtrConsumeBytes, CtrRingFullDrops,
+}
+
+// writeTenants renders the tenant-labeled series for nodes that declare
+// tenants: the counter subset, the consume-latency histogram, and the
+// quota gauges.
+func writeTenants(bw *errWriter, nodes []NodeSnapshot) {
+	any := false
+	for _, n := range nodes {
+		if len(n.Tenants) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+
+	for _, c := range tenantCounters {
+		name := MetricPrefix + "tenant_" + counterNames[c] + "_total"
+		bw.printf("# HELP %s Per-tenant: %s\n# TYPE %s counter\n", name, counterHelp[c], name)
+		for _, n := range nodes {
+			for _, ts := range n.Tenants {
+				bw.printf("%s{node=%q,tenant=%q} %d\n", name, n.Node, ts.Tenant, ts.Snap.Counters[c])
+			}
+		}
+	}
+
+	hname := MetricPrefix + "tenant_" + histNames[HistConsumeLatency] + "_seconds"
+	bw.printf("# HELP %s Per-tenant: %s\n# TYPE %s histogram\n", hname, histHelp[HistConsumeLatency], hname)
+	for _, n := range nodes {
+		for _, ts := range n.Tenants {
+			writeHist(bw, hname, tenantLabels(n.Node, ts.Tenant), &ts.Snap.Hists[HistConsumeLatency], true)
+		}
+	}
+
+	type gauge struct {
+		name, help string
+		pick       func(TenantSnapshot) int64
+	}
+	gauges := []gauge{
+		{"tenant_weight", "Configured WDRR weight of the tenant.", func(t TenantSnapshot) int64 { return int64(t.Weight) }},
+		{"tenant_mem_slots_used", "Mempool slots currently charged to the tenant.", func(t TenantSnapshot) int64 { return t.MemUsed }},
+		{"tenant_mem_slots_limit", "Tenant mempool slot budget (0 = unlimited).", func(t TenantSnapshot) int64 { return t.MemLimit }},
+		{"tenant_tx_inflight", "TX tokens currently in flight for the tenant.", func(t TenantSnapshot) int64 { return t.Inflight }},
+		{"tenant_tx_inflight_limit", "Tenant in-flight TX token cap (0 = unlimited).", func(t TenantSnapshot) int64 { return t.InflightLimit }},
+	}
+	for _, g := range gauges {
+		name := MetricPrefix + g.name
+		bw.printf("# HELP %s %s\n# TYPE %s gauge\n", name, g.help, name)
+		for _, n := range nodes {
+			for _, ts := range n.Tenants {
+				bw.printf("%s{node=%q,tenant=%q} %d\n", name, n.Node, ts.Tenant, g.pick(ts))
+			}
+		}
+	}
+}
+
+// writeHist renders one histogram series under a pre-rendered label set
+// (e.g. `node="n1"` or `node="n1",tenant="cam"`). The fine buckets are
 // coalesced per octave; cumulative counts and `le` bounds follow the
 // exposition-format contract (le is an inclusive upper bound, the +Inf
 // bucket equals _count).
-func writeHist(bw *errWriter, name, node string, s *HistSnapshot, seconds bool) {
+func writeHist(bw *errWriter, name, labels string, s *HistSnapshot, seconds bool) {
 	var cum uint64
 	for i := 0; i < NumBuckets; i++ {
 		cum += s.Buckets[i]
@@ -121,16 +208,24 @@ func writeHist(bw *errWriter, name, node string, s *HistSnapshot, seconds bool) 
 		if seconds {
 			le /= 1e9
 		}
-		bw.printf("%s_bucket{node=%q,le=%q} %d\n",
-			name, node, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		bw.printf("%s_bucket{%s,le=%q} %d\n",
+			name, labels, strconv.FormatFloat(le, 'g', -1, 64), cum)
 	}
-	bw.printf("%s_bucket{node=%q,le=\"+Inf\"} %d\n", name, node, cum)
+	bw.printf("%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
 	sum := float64(s.Sum)
 	if seconds {
 		sum /= 1e9
 	}
-	bw.printf("%s_sum{node=%q} %s\n", name, node, strconv.FormatFloat(sum, 'g', -1, 64))
-	bw.printf("%s_count{node=%q} %d\n", name, node, cum)
+	bw.printf("%s_sum{%s} %s\n", name, labels, strconv.FormatFloat(sum, 'g', -1, 64))
+	bw.printf("%s_count{%s} %d\n", name, labels, cum)
+}
+
+// nodeLabel renders the node label pair.
+func nodeLabel(node string) string { return "node=" + strconv.Quote(node) }
+
+// tenantLabels renders the node+tenant label pairs.
+func tenantLabels(node, tenant string) string {
+	return "node=" + strconv.Quote(node) + ",tenant=" + strconv.Quote(tenant)
 }
 
 // writeMempool renders the memory-manager series.

@@ -58,6 +58,9 @@ const (
 	// the queued path (remote subscriber, fanout over budget, closed TSN
 	// gate, or a full sink ring).
 	CtrRTCFallbacks
+	// CtrTenantQuotaRejects counts admissions refused by a tenant quota
+	// (mempool slot budget or in-flight TX token cap, DESIGN.md §12).
+	CtrTenantQuotaRejects
 
 	// NumCounters sizes the per-shard counter array.
 	NumCounters
@@ -65,21 +68,22 @@ const (
 
 // counterNames are the stable identifiers used by exporters.
 var counterNames = [NumCounters]string{
-	CtrEmits:            "emits",
-	CtrEmitBytes:        "emit_bytes",
-	CtrEmitBackpressure: "emit_backpressure",
-	CtrSchedEnqueues:    "sched_enqueues",
-	CtrDispatches:       "dispatches",
-	CtrTxMessages:       "tx_messages",
-	CtrRxMessages:       "rx_messages",
-	CtrLocalDeliveries:  "local_deliveries",
-	CtrNoSinkDrops:      "drops_no_sink",
-	CtrRingFullDrops:    "drops_ring_full",
-	CtrTechDowngrades:   "tech_downgrades",
-	CtrConsumes:         "consumes",
-	CtrConsumeBytes:     "consume_bytes",
-	CtrRTCDeliveries:    "rtc_deliveries",
-	CtrRTCFallbacks:     "rtc_fallbacks",
+	CtrEmits:              "emits",
+	CtrEmitBytes:          "emit_bytes",
+	CtrEmitBackpressure:   "emit_backpressure",
+	CtrSchedEnqueues:      "sched_enqueues",
+	CtrDispatches:         "dispatches",
+	CtrTxMessages:         "tx_messages",
+	CtrRxMessages:         "rx_messages",
+	CtrLocalDeliveries:    "local_deliveries",
+	CtrNoSinkDrops:        "drops_no_sink",
+	CtrRingFullDrops:      "drops_ring_full",
+	CtrTechDowngrades:     "tech_downgrades",
+	CtrConsumes:           "consumes",
+	CtrConsumeBytes:       "consume_bytes",
+	CtrRTCDeliveries:      "rtc_deliveries",
+	CtrRTCFallbacks:       "rtc_fallbacks",
+	CtrTenantQuotaRejects: "tenant_quota_rejects",
 }
 
 // NameOf returns the stable exporter name of a counter.

@@ -68,7 +68,7 @@ func New(node *insane.Node, opts insane.Options) (*MoM, error) {
 	if err != nil {
 		return nil, err
 	}
-	stream, err := sess.CreateStream(opts)
+	stream, err := sess.CreateStreamOpts(insane.WithOptions(opts))
 	if err != nil {
 		sess.Close()
 		return nil, err

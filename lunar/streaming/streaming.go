@@ -72,7 +72,7 @@ func OpenServer(node *insane.Node, name string, opts insane.Options) (*Server, e
 	if err != nil {
 		return nil, err
 	}
-	stream, err := sess.CreateStream(opts)
+	stream, err := sess.CreateStreamOpts(insane.WithOptions(opts))
 	if err != nil {
 		sess.Close()
 		return nil, err
@@ -220,7 +220,7 @@ func Connect(node *insane.Node, name string, opts insane.Options) (*Client, erro
 	if err != nil {
 		return nil, err
 	}
-	stream, err := sess.CreateStream(opts)
+	stream, err := sess.CreateStreamOpts(insane.WithOptions(opts))
 	if err != nil {
 		sess.Close()
 		return nil, err
