@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet lint lint-hotpath lint-concurrency lint-arch lint-bounded bench bench-baseline bench-compare bench-isolation metrics-smoke experiments demo examples loc help
+.PHONY: all test race vet lint lint-hotpath lint-concurrency lint-arch lint-bounded lint-pair bench bench-baseline bench-compare bench-isolation metrics-smoke experiments demo examples loc help
 
 all: vet test lint ## vet + test + lint (the CI gate)
 
@@ -32,6 +32,9 @@ lint-arch: ## enforce the ARCH.layers layering fence (a stale spec entry fails t
 
 lint-bounded: ## prove every hot-path loop bounded or waived with //insane:bounded
 	$(GO) run ./cmd/insanevet -run boundedcheck ./...
+
+lint-pair: ## prove every resource acquire balanced by a release/transfer on all paths
+	$(GO) run ./cmd/insanevet -run paircheck ./...
 
 bench: ## run every benchmark
 	$(GO) test -bench=. -benchmem ./...

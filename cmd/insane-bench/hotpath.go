@@ -138,6 +138,7 @@ func measureEmitConsume(name string, size, nsinks, iters int, rtc bool) (bench.H
 			return err
 		}
 		if _, err := src.Emit(buf, size); err != nil {
+			src.Abort(buf)
 			return err
 		}
 		for _, k := range sinks {

@@ -226,6 +226,7 @@ func measureIsolation(name string, msgs int, flood bool, budget time.Duration) (
 			return bench.IsolationResult{}, fmt.Errorf("tsn GetBuffer: %w", err)
 		}
 		if _, err := tsnSrc.Emit(buf, 128); err != nil {
+			tsnSrc.Abort(buf)
 			return bench.IsolationResult{}, fmt.Errorf("tsn Emit: %w", err)
 		}
 		m, err := tsnSink.ConsumeContext(ctx)

@@ -187,6 +187,7 @@ func emitRetry(src *insane.Source, size int) error {
 				return nil
 			}
 			if !errors.Is(err, insane.ErrBackpressure) {
+				src.Abort(buf)
 				return err
 			}
 		} else if !errors.Is(err, insane.ErrNoBuffers) {
@@ -197,6 +198,9 @@ func emitRetry(src *insane.Source, size int) error {
 		} else {
 			runtime.Gosched()
 		}
+	}
+	if buf != nil {
+		src.Abort(buf)
 	}
 	return errors.New("emit: backpressure never cleared")
 }

@@ -94,6 +94,7 @@ func metricsTraffic(cluster *insane.Cluster) error {
 		}
 		n := copy(buf.Payload, fmt.Sprintf("reading %d", i))
 		if _, err := src.Emit(buf, n); err != nil {
+			src.Abort(buf)
 			return err
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

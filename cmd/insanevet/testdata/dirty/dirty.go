@@ -8,7 +8,11 @@ type Buffer struct{ Payload []byte }
 // Source mimics the client-library producer.
 type Source struct{}
 
-// Emit mimics the ownership-transferring send.
+// Emit mimics the ownership-transferring send, annotated the way the
+// real client library is so the registry-driven bufownership rule
+// recognizes it as consuming.
+//
+//insane:transfer resource=slot on=nilerr
 func (s *Source) Emit(b *Buffer, n int) (uint32, error) { _ = b; return 0, nil }
 
 // Bad touches a buffer after emitting it.

@@ -81,8 +81,11 @@ func run() error {
 			return err
 		}
 		n := copy(buf.Payload, "reading from "+node.Name())
-		_, err = src.Emit(buf, n)
-		return err
+		if _, err := src.Emit(buf, n); err != nil {
+			src.Abort(buf)
+			return err
+		}
+		return nil
 	}
 
 	for _, placement := range []string{"edge-dpdk", "edge-bare"} {

@@ -77,6 +77,7 @@ func run() error {
 	}
 	n := copy(buf.Payload, "hello, accelerated edge cloud")
 	if _, err := src.Emit(buf, n); err != nil {
+		src.Abort(buf)
 		return err
 	}
 

@@ -114,6 +114,7 @@ func run() error {
 				return err
 			}
 			if _, err := bulkSrc.Emit(b, 1024); err != nil {
+				bulkSrc.Abort(b)
 				return err
 			}
 		}
@@ -123,6 +124,7 @@ func run() error {
 		}
 		n := copy(cmd.Payload, fmt.Sprintf("setpoint %d", round))
 		if _, err := ctlSrc.Emit(cmd, n); err != nil {
+			ctlSrc.Abort(cmd)
 			return err
 		}
 

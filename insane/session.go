@@ -257,6 +257,7 @@ func (s *Source) Channel() int { return int(s.h.Channel()) }
 // runtime memory manager (get_buffer).
 //
 //insane:hotpath
+//insane:acquire resource=mem-slot on=nilerr
 func (s *Source) GetBuffer(size int) (*Buffer, error) {
 	b, err := s.h.GetBuffer(size)
 	if err != nil {
@@ -270,6 +271,7 @@ func (s *Source) GetBuffer(size int) (*Buffer, error) {
 // Abort returns an unsent buffer to the pool.
 //
 //insane:hotpath
+//insane:release resource=mem-slot
 func (s *Source) Abort(b *Buffer) {
 	if b != nil && b.inner != nil {
 		s.h.Abort(b.inner)
@@ -298,6 +300,7 @@ func (b *Buffer) ContinueFrom(m *Message) {
 // transmission (emit_data) and returns a token for EmitOutcome.
 //
 //insane:hotpath
+//insane:transfer resource=mem-slot on=nilerr
 func (s *Source) Emit(b *Buffer, n int) (uint32, error) {
 	if b == nil || b.inner == nil {
 		return 0, ErrBufferConsumed
@@ -382,6 +385,7 @@ func (k *Sink) Available() int { return k.h.Available() }
 // primitive.
 //
 //insane:hotpath allow=block
+//insane:acquire resource=mem-slot on=nilerr
 func (k *Sink) ConsumeContext(ctx context.Context) (*Message, error) {
 	var timeout time.Duration
 	if deadline, ok := ctx.Deadline(); ok {
@@ -419,6 +423,7 @@ func (k *Sink) ConsumeContext(ctx context.Context) (*Message, error) {
 // remains for the paper's boolean-flag consume_data signature.
 //
 //insane:hotpath allow=block
+//insane:acquire resource=mem-slot on=nilerr
 func (k *Sink) Consume(block bool) (*Message, error) {
 	if !block {
 		d, err := k.h.TryConsume()
@@ -438,6 +443,7 @@ func (k *Sink) Consume(block bool) (*Message, error) {
 // the last allocation.
 //
 //insane:hotpath allow=block
+//insane:acquire resource=mem-slot on=nilerr
 func (k *Sink) ConsumeTimeout(d time.Duration) (*Message, error) {
 	del, err := k.h.ConsumeCancel(nil, d)
 	if err != nil {
@@ -450,6 +456,7 @@ func (k *Sink) ConsumeTimeout(d time.Duration) (*Message, error) {
 // (release_buffer).
 //
 //insane:hotpath
+//insane:release resource=mem-slot
 func (k *Sink) Release(m *Message) {
 	if m != nil && m.d != nil {
 		k.h.Release(m.d)

@@ -403,3 +403,100 @@ func TestTenantPromFamilies(t *testing.T) {
 		}
 	}
 }
+
+// TestTenantQuotaBalanceAfterChurn is the leak soak for the §12/§13
+// charge/refund pairs: sessions churn through an error-injecting
+// workload — borrows tripping the slot budget, emits tripping the TX
+// token cap and backpressure, aborted buffers, sessions closed with
+// unconsumed deliveries still queued — and after every session is gone
+// the tenant's gauges must read exactly zero: any residue is a lost
+// Uncharge/unchargeTX/Release pair.
+func TestTenantQuotaBalanceAfterChurn(t *testing.T) {
+	c := tenantCluster(t, []insane.TenantSpec{
+		{ID: "churn", MemSlots: 6, TxTokens: 2},
+	}, insane.NodeSpec{})
+	node := c.Node("edge")
+
+	const rounds = 12
+	for round := 0; round < rounds; round++ {
+		sess, err := node.InitSession(insane.WithTenant("churn"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sess.CreateStreamOpts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := 40 + round
+		sink, err := st.CreateSink(ch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := st.CreateSource(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Error injection 1: exhaust the slot budget and keep borrowing.
+		var held []*insane.Buffer
+		for {
+			b, err := src.GetBuffer(64)
+			if err != nil {
+				if !errors.Is(err, insane.ErrTenantQuota) {
+					t.Fatalf("round %d: GetBuffer = %v", round, err)
+				}
+				break
+			}
+			held = append(held, b)
+		}
+		if len(held) != 6 {
+			t.Fatalf("round %d: borrowed %d slots before quota, want 6", round, len(held))
+		}
+		// Abort half; the rest goes through Emit's error paths.
+		for _, b := range held[:3] {
+			src.Abort(b)
+		}
+		// Error injection 2: emit into the 2-token in-flight cap; retry
+		// quota/backpressure rejections, aborting only on real errors.
+		for _, b := range held[3:] {
+			for {
+				_, err := src.Emit(b, 64)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, insane.ErrTenantQuota) && !errors.Is(err, insane.ErrBackpressure) {
+					src.Abort(b)
+					t.Fatalf("round %d: Emit = %v", round, err)
+				}
+				runtime.Gosched()
+			}
+		}
+		// Consume some deliveries; on odd rounds leave the rest queued in
+		// the sink ring so Close has to settle them.
+		toConsume := 3
+		if round%2 == 1 {
+			toConsume = 1
+		}
+		for i := 0; i < toConsume; i++ {
+			m, err := consumeWithin(sink, 5*time.Second)
+			if err != nil {
+				t.Fatalf("round %d: consume %d: %v", round, i, err)
+			}
+			sink.Release(m)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatalf("round %d: Close = %v", round, err)
+		}
+	}
+
+	ten := node.Metrics().Tenants[0]
+	if ten.MemUsed != 0 {
+		t.Errorf("MemUsed after churn = %d, want 0 (slot charges leaked)", ten.MemUsed)
+	}
+	if ten.TxInflight != 0 {
+		t.Errorf("TxInflight after churn = %d, want 0 (TX charges leaked)", ten.TxInflight)
+	}
+	if ten.QuotaRejects == 0 {
+		t.Error("QuotaRejects = 0: the workload never tripped a quota, soak proves nothing")
+	}
+}

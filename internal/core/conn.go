@@ -214,6 +214,9 @@ func (c *ClientConn) Close() error {
 // every polling thread has completed two further passes, so emitted
 // messages leave before the session's slots are reclaimed.
 func (c *ClientConn) flush(timeout time.Duration) {
+	if c.rt.stopped.Load() {
+		return // no poller will ever drain; dropConn reclaims the lanes
+	}
 	deadline := timebase.Wall().Add(timeout)
 	for timebase.Wall().Before(deadline) {
 		c.mu.Lock()
@@ -448,6 +451,7 @@ func (s *SourceHandle) Channel() uint32 { return s.channel }
 // ErrTenantQuota).
 //
 //insane:hotpath
+//insane:acquire resource=mem-slot on=nilerr
 func (s *SourceHandle) GetBuffer(size int) (*Buffer, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
@@ -476,6 +480,7 @@ func (s *SourceHandle) GetBuffer(size int) (*Buffer, error) {
 // Abort returns an unsent buffer to the pool.
 //
 //insane:hotpath
+//insane:release resource=mem-slot
 func (s *SourceHandle) Abort(b *Buffer) {
 	if b != nil && b.buf != nil {
 		_ = s.stream.conn.rt.mm.Release(b.Slot)
@@ -490,6 +495,7 @@ func (s *SourceHandle) Abort(b *Buffer) {
 // ErrBackpressure the caller keeps it and may retry.
 //
 //insane:hotpath
+//insane:transfer resource=mem-slot on=nilerr
 func (s *SourceHandle) Emit(b *Buffer, n int) (uint32, error) {
 	if s.closed.Load() {
 		return 0, ErrClosed
@@ -633,6 +639,7 @@ func (k *SinkHandle) Available() int { return k.ring.Len() }
 // non-blocking flag).
 //
 //insane:hotpath
+//insane:acquire resource=mem-slot on=nilerr
 func (k *SinkHandle) TryConsume() (*Delivery, error) {
 	if k.closed.Load() {
 		return nil, ErrClosed
@@ -674,6 +681,8 @@ func (k *SinkHandle) TryConsume() (*Delivery, error) {
 var timerPool sync.Pool
 
 // getTimer returns a timer firing after d.
+//
+//insane:acquire resource=timer
 func getTimer(d time.Duration) *time.Timer {
 	if t, ok := timerPool.Get().(*time.Timer); ok {
 		t.Reset(d)
@@ -685,6 +694,8 @@ func getTimer(d time.Duration) *time.Timer {
 
 // putTimer parks a timer, draining a pending fire so the next Reset
 // starts clean.
+//
+//insane:release resource=timer
 func putTimer(t *time.Timer) {
 	if !t.Stop() {
 		select {
@@ -699,6 +710,7 @@ func putTimer(t *time.Timer) {
 // (consume_data with the blocking flag). A zero timeout waits forever.
 //
 //insane:hotpath allow=block
+//insane:acquire resource=mem-slot on=nilerr
 func (k *SinkHandle) Consume(timeout time.Duration) (*Delivery, error) {
 	return k.ConsumeCancel(nil, timeout)
 }
@@ -710,6 +722,7 @@ func (k *SinkHandle) Consume(timeout time.Duration) (*Delivery, error) {
 // context (and its allocations) onto the timeout-only path.
 //
 //insane:hotpath allow=block
+//insane:acquire resource=mem-slot on=nilerr
 func (k *SinkHandle) ConsumeCancel(cancel <-chan struct{}, timeout time.Duration) (*Delivery, error) {
 	// Fast path: data is already queued — no timer needed.
 	d, err := k.TryConsume()
@@ -745,6 +758,7 @@ func (k *SinkHandle) ConsumeCancel(cancel <-chan struct{}, timeout time.Duration
 // (release_buffer).
 //
 //insane:hotpath
+//insane:release resource=mem-slot
 func (k *SinkHandle) Release(d *Delivery) {
 	if d == nil || d.Payload == nil {
 		return // nil or already-released delivery

@@ -12,6 +12,7 @@ import (
 	"github.com/insane-mw/insane/internal/model"
 	"github.com/insane-mw/insane/internal/netstack"
 	"github.com/insane-mw/insane/internal/qos"
+	"github.com/insane-mw/insane/internal/telemetry"
 )
 
 // world is a two-node test topology with one runtime per node.
@@ -596,5 +597,69 @@ func TestHeaderRoundTrip(t *testing.T) {
 	}
 	if _, err := techFromAux(99); err == nil {
 		t.Error("bad aux tech accepted")
+	}
+}
+
+// TestCloseReclaimsQueuedTxTokens pins the teardown half of the tenant
+// charge/refund balance (DESIGN.md §12/§13): TX tokens still queued in a
+// session's lanes when it detaches — here because the runtime stopped
+// before any poller could drain them — must be settled by dropConn, with
+// the tenant's in-flight count back at zero, every slot back in the
+// pool, and the reclaim visible in telemetry.
+func TestCloseReclaimsQueuedTxTokens(t *testing.T) {
+	w := buildWorld(t, datapath.Caps{}, datapath.Caps{}, func(cfg *Config) {
+		cfg.Tenants = []TenantSpec{{Name: "acme", TxTokens: 8, MemSlots: 8}}
+	})
+	freeBefore := 0
+	for _, n := range w.a.mm.FreeSlots() {
+		freeBefore += n
+	}
+	conn, err := w.a.ConnectTenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := conn.OpenStream(qos.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := st.CreateSource(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop the pollers first: every Emit below charges the tenant and
+	// queues a token in the lane that no poller will ever drain.
+	if err := w.a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const queued = 4
+	for i := 0; i < queued; i++ {
+		b, err := src.GetBuffer(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Emit(b, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := conn.ten.inflight.Load(); got != queued {
+		t.Fatalf("inflight after %d undrained emits = %d", queued, got)
+	}
+
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := conn.ten.inflight.Load(); got != 0 {
+		t.Errorf("inflight after Close = %d, want 0 (TX charges leaked)", got)
+	}
+	if got := w.a.tel.Counter(telemetry.CtrTxReclaims); got != queued {
+		t.Errorf("tx_reclaims = %d, want %d", got, queued)
+	}
+	freeAfter := 0
+	for _, n := range w.a.mm.FreeSlots() {
+		freeAfter += n
+	}
+	if freeAfter != freeBefore {
+		t.Errorf("free slots after Close = %d, want %d (slots leaked)", freeAfter, freeBefore)
 	}
 }

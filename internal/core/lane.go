@@ -86,7 +86,12 @@ func (l *txLane) promoteLocked() error {
 // push appends one token, reporting whether there was room. False means
 // backpressure: the caller keeps buffer ownership and may retry.
 //
+// On success the token — and the tenant TX charge and slot reference it
+// carries — belongs to the poller that drains the lane.
+//
 //insane:hotpath
+//insane:transfer resource=tenant-tx on=true
+//insane:transfer resource=mem-slot on=true
 func (l *txLane) push(tok txToken) bool {
 	if l.mode.Load() == laneSPSC {
 		return l.spsc.TryPush(tok)
@@ -99,6 +104,29 @@ func (l *txLane) push(tok txToken) bool {
 		return false
 	}
 	return l.mpmc.TryPush(tok)
+}
+
+// pop drains one buffered token, SPSC remnant first (the order push
+// enforces across a promotion). It is the teardown-side counterpart of
+// push: the caller takes over the tenant TX charge and slot reference
+// the token carries. Only safe once no poller consumes the lane — the
+// runtime guarantees that by dropping the session from the poll list
+// and waiting out two poller passes before reclaiming.
+//
+//insane:acquire resource=tenant-tx on=true
+//insane:acquire resource=mem-slot on=true
+func (l *txLane) pop() (txToken, bool) {
+	if l.spsc != nil {
+		if tok, ok := l.spsc.TryPop(); ok {
+			return tok, true
+		}
+	}
+	if l.mpmc != nil {
+		if tok, ok := l.mpmc.TryPop(); ok {
+			return tok, true
+		}
+	}
+	return txToken{}, false
 }
 
 // queued returns the tokens buffered in the lane (both rings during a

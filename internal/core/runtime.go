@@ -462,16 +462,54 @@ func (r *Runtime) rebuildConnListLocked() {
 	r.connList = list
 }
 
-// dropConn removes a closed session and reclaims its memory.
+// dropConn removes a closed session and reclaims its memory: first the
+// TX tokens still queued in the session's lanes (each carries a tenant
+// in-flight charge and a slot reference the poller would have settled),
+// then any slot the session still owns.
 func (r *Runtime) dropConn(c *ClientConn) {
 	r.mu.Lock()
 	delete(r.conns, c.id)
 	r.rebuildConnListLocked()
 	r.topoEpoch.Add(1)
 	r.mu.Unlock()
+	// Pollers pick up the shrunk session list on their next pass; after
+	// two full passes none can still be draining this session's lanes,
+	// so the SPSC remnant may be popped from this goroutine.
+	r.waitPollerPasses(2, timebase.Wall().Add(50*time.Millisecond))
+	if n := r.reclaimLanes(c); n > 0 {
+		r.tel.AssignShard().Add(telemetry.CtrTxReclaims, uint64(n))
+		r.warnf("session %d: reclaimed %d undrained TX tokens on detach", c.id, n)
+	}
 	if n := r.mm.ReleaseOwner(c.id); n > 0 {
 		r.warnf("session %d: reclaimed %d leaked slots on detach", c.id, n)
 	}
+}
+
+// reclaimLanes settles every TX token left in a detached session's
+// lanes — the balance the poller would have restored had it drained
+// them: uncharge the tenant's in-flight TX token and release the slot.
+func (r *Runtime) reclaimLanes(c *ClientConn) int {
+	c.mu.Lock()
+	lanes := make([]*txLane, 0, len(c.lanes))
+	for _, l := range c.lanes {
+		lanes = append(lanes, l)
+	}
+	c.mu.Unlock()
+	n := 0
+	for _, l := range lanes {
+		for {
+			tok, ok := l.pop()
+			if !ok {
+				break
+			}
+			if tok.ten != nil {
+				tok.ten.unchargeTX()
+			}
+			r.mm.Release(tok.slot)
+			n++
+		}
+	}
+	return n
 }
 
 // SubscriberCount reports how many remote peers subscribed to a channel

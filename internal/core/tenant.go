@@ -75,6 +75,7 @@ type tenant struct {
 // Same optimistic add-then-undo as mempool.Budget.TryCharge.
 //
 //insane:hotpath
+//insane:acquire resource=tenant-tx on=true
 func (t *tenant) chargeTX() bool {
 	if t.spec.TxTokens <= 0 {
 		return true
@@ -89,6 +90,7 @@ func (t *tenant) chargeTX() bool {
 // unchargeTX returns one in-flight token (dispatch or failed push).
 //
 //insane:hotpath
+//insane:release resource=tenant-tx
 func (t *tenant) unchargeTX() {
 	if t.spec.TxTokens > 0 {
 		t.inflight.Add(-1)

@@ -63,7 +63,11 @@ func dpdkInit(env *Env, portA bool) *dpdkApp {
 }
 
 // buildFrame allocates an mbuf from the mempool and writes the full
-// Ethernet/IPv4/UDP frame around the payload by hand.
+// Ethernet/IPv4/UDP frame around the payload by hand. The returned
+// packet carries the slot; allocation failure panics (check), so the
+// acquire is unconditional.
+//
+//insane:acquire resource=mem-slot
 func (app *dpdkApp) buildFrame(payload []byte) *datapath.Packet {
 	slot, buf, err := app.mem.Get(netstack.HeadersLen+len(payload), mempool.NoOwner)
 	check(err, "mbuf alloc")
@@ -97,7 +101,11 @@ func (app *dpdkApp) parseFrame(pkt *datapath.Packet) ([]byte, bool) {
 	return payload, true
 }
 
-// txOne pushes one frame through the TX burst API.
+// txOne pushes one frame through the TX burst API. The sim datapath
+// copies the frame on Send, so the mbuf slot is released here on both
+// the success and the failure path.
+//
+//insane:release resource=mem-slot
 func (app *dpdkApp) txOne(pkt *datapath.Packet) bool {
 	sent, err := app.port.Send([]*datapath.Packet{pkt}, app.remote)
 	if err != nil || sent != 1 {

@@ -72,11 +72,15 @@ func NewEnv(tb model.Testbed) (*Env, error) {
 
 // AllocA and AllocB adapt the memory managers to the datapath allocator
 // signature.
+//
+//insane:acquire resource=mem-slot on=nilerr
 func (e *Env) AllocA(size int) (mempool.SlotID, []byte, error) {
 	return e.MemA.Get(size, mempool.NoOwner)
 }
 
 // AllocB allocates from host B's pool.
+//
+//insane:acquire resource=mem-slot on=nilerr
 func (e *Env) AllocB(size int) (mempool.SlotID, []byte, error) {
 	return e.MemB.Get(size, mempool.NoOwner)
 }

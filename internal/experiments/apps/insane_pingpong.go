@@ -59,11 +59,14 @@ func InsanePingPong(cluster *insane.Cluster, payload, rounds int, fast bool) []t
 			}
 			resp, err := pongSrc.GetBuffer(len(req.Payload))
 			if err != nil {
+				pingSink.Release(req)
 				return
 			}
 			copy(resp.Payload, req.Payload)
 			resp.ContinueFrom(req)
 			if _, err := pongSrc.Emit(resp, len(req.Payload)); err != nil {
+				pongSrc.Abort(resp)
+				pingSink.Release(req)
 				return
 			}
 			pingSink.Release(req)

@@ -53,11 +53,12 @@ func UDPPingPong(env *Env, payload, rounds int, blocking bool) []time.Duration {
 			echo := udpNewPacket(env.MemB, req.Bytes())
 
 			echo.VTime, echo.Breakdown = req.VTime, req.Breakdown
-			if _, err := server.Send([]*datapath.Packet{echo}, env.AddrA); err != nil {
-				return
-			}
+			_, err := server.Send([]*datapath.Packet{echo}, env.AddrA)
 			env.MemB.Release(echo.Slot)
 			env.MemB.Release(req.Slot)
+			if err != nil {
+				return
+			}
 		}
 	}()
 
@@ -66,10 +67,11 @@ func UDPPingPong(env *Env, payload, rounds int, blocking bool) []time.Duration {
 	buf := make([]byte, payload)
 	for i := 0; i < rounds; i++ {
 		msg := udpNewPacket(env.MemA, buf)
-		if _, err := client.Send([]*datapath.Packet{msg}, env.AddrB); err != nil {
+		_, err := client.Send([]*datapath.Packet{msg}, env.AddrB)
+		env.MemA.Release(msg.Slot)
+		if err != nil {
 			break
 		}
-		env.MemA.Release(msg.Slot)
 		pong := udpReceiveOne(client, blocking)
 		if pong == nil {
 			break
@@ -81,7 +83,11 @@ func UDPPingPong(env *Env, payload, rounds int, blocking bool) []time.Duration {
 	return rtts
 }
 
-// udpNewPacket copies payload into a fresh datagram buffer.
+// udpNewPacket copies payload into a fresh datagram buffer. The
+// returned packet carries the slot; allocation failure panics (check),
+// so the acquire is unconditional.
+//
+//insane:acquire resource=mem-slot
 func udpNewPacket(mm *mempool.Manager, payload []byte) *datapath.Packet {
 	slot, buf, err := mm.Get(datapath.Headroom+len(payload), mempool.NoOwner)
 	check(err, "datagram buffer")

@@ -12,10 +12,17 @@
 //   - any use of a message variable after it was passed to Release,
 //     including a second Release (double release corrupts the slot
 //     reference counts);
-//   - any use of a pooled packet envelope (*Packet / *pktEnv) after it
-//     was returned to a free list via Put or Recycle — the poller free
-//     lists recycle envelopes concurrently, so a stale reference races
-//     with the envelope's next owner exactly like a released slot.
+//   - any use of a pooled object (a packet envelope, a cached timer)
+//     after it was returned to a free list — the free lists recycle
+//     objects concurrently, so a stale reference races with the
+//     object's next owner exactly like a released slot.
+//
+// The set of consuming calls is not a hardcoded name list: it is the
+// //insane:release and //insane:transfer resource registry (the same
+// pairfacts facts paircheck proves balance over, DESIGN.md §13). Any
+// function annotated as releasing or transferring a resource kills its
+// pointer-to-named-type arguments; unannotated functions — even ones
+// named Put or Release — kill nothing.
 //
 // The one sanctioned exception is the backpressure protocol: Emit
 // returns ErrBackpressure *without* taking ownership, so uses guarded
@@ -34,13 +41,20 @@ import (
 	"go/types"
 
 	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/callutil"
+	"github.com/insane-mw/insane/internal/lint/directive"
+	"github.com/insane-mw/insane/internal/lint/pairfacts"
 )
 
-// Analyzer is the bufownership rule.
+// Analyzer is the bufownership rule. It declares the pairfacts Effects
+// fact so the driver runs it whole-program: a consuming call is
+// recognized across package boundaries wherever the callee carries an
+// //insane:release or //insane:transfer annotation.
 var Analyzer = &analysis.Analyzer{
-	Name: "bufownership",
-	Doc:  "flag uses of zero-copy buffers after ownership passed to the runtime (Emit/Abort/Release)",
-	Run:  run,
+	Name:      "bufownership",
+	Doc:       "flag uses of zero-copy buffers after ownership passed to the runtime (any //insane:release or //insane:transfer callee)",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*pairfacts.Effects)(nil)},
 }
 
 // kill records the statement that transferred ownership of a value.
@@ -62,6 +76,11 @@ func (s state) clone() state {
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	// Export this package's pair annotations as facts so downstream
+	// packages see its consuming functions. Malformed directives are
+	// dropped silently here — paircheck already diagnoses them, and a
+	// second copy of each problem would be noise.
+	pairfacts.Export(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
@@ -232,50 +251,51 @@ func applyKills(pass *analysis.Pass, exprs []ast.Expr, st state) []string {
 			if !ok {
 				return true
 			}
-			verb, key, ok := killerCall(pass, call)
-			if !ok {
-				return true
+			verb, keys := killerCall(pass, call)
+			for _, key := range keys {
+				st[key] = kill{verb: verb, pos: call.Pos()}
+				killed = append(killed, key)
 			}
-			st[key] = kill{verb: verb, pos: call.Pos()}
-			killed = append(killed, key)
 			return true
 		})
 	}
 	return killed
 }
 
-// killerCall recognizes Emit/Abort/Release/Put/Recycle calls that
-// transfer ownership of their first argument, returning the verb and
-// the argument's canonical key.
-func killerCall(pass *analysis.Pass, call *ast.CallExpr) (verb, key string, ok bool) {
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
-	if !isSel || len(call.Args) == 0 {
-		return "", "", false
+// killerCall recognizes consuming calls — any statically resolved
+// callee that carries an //insane:release or //insane:transfer
+// annotation in the resource registry — and returns the callee's name
+// plus the canonical keys of the arguments whose ownership the call
+// takes. Only pointer-to-named-type arguments with a trackable key are
+// killed: value arguments (a txToken, a SlotID) carry no aliasable
+// reference, and composite expressions (&x, f(y)) have no stable key.
+func killerCall(pass *analysis.Pass, call *ast.CallExpr) (verb string, keys []string) {
+	fn := callutil.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || len(call.Args) == 0 {
+		return "", nil
 	}
-	name := sel.Sel.Name
-	var wantTypes []string
-	switch name {
-	case "Emit", "Abort":
-		wantTypes = []string{"Buffer"}
-	case "Release":
-		wantTypes = []string{"Message", "Delivery"}
-	case "Put", "Recycle":
-		// Free-list recycle of a pooled packet envelope: the next Get
-		// may hand the same object to another message immediately.
-		wantTypes = []string{"Packet", "pktEnv"}
-	default:
-		return "", "", false
-	}
-	arg := call.Args[0]
-	tn := pointeeName(pass, arg)
-	for _, w := range wantTypes {
-		if tn == w {
-			if key = canon(arg); key != "" {
-				return name, key, true
-			}
+	consuming := false
+	for _, e := range pairfacts.Lookup(pass, fn) {
+		if e.Kind == directive.PairRelease || e.Kind == directive.PairTransfer {
+			consuming = true
+			break
 		}
 	}
-	return "", "", false
+	if !consuming {
+		return "", nil
+	}
+	for _, arg := range call.Args {
+		if pointeeName(pass, arg) == "" {
+			continue
+		}
+		if key := canon(arg); key != "" {
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		return "", nil
+	}
+	return fn.Name(), keys
 }
 
 // pointeeName returns the name of the named type an expression points

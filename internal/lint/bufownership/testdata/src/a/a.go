@@ -1,7 +1,8 @@
 // Package a seeds bufownership violations against a stand-in of the
-// INSANE client API: the analyzer matches Emit/Abort/Release calls by
-// method name and *Buffer/*Message argument type, so the fixture does
-// not need the real module.
+// INSANE client API: the analyzer recognizes consuming calls through
+// the //insane:release and //insane:transfer resource registry, so the
+// fixture annotates its stand-in methods the same way the real module
+// does and needs nothing beyond this package.
 package a
 
 import "errors"
@@ -22,17 +23,25 @@ var ErrBackpressure = errors.New("backpressure")
 // Source mimics insane.Source.
 type Source struct{}
 
+//insane:acquire resource=slot on=nilerr
 func (s *Source) GetBuffer(n int) (*Buffer, error) {
 	return &Buffer{Payload: make([]byte, n)}, nil
 }
+
+//insane:transfer resource=slot on=nilerr
 func (s *Source) Emit(b *Buffer, n int) (uint32, error) { _ = b; return 0, nil }
-func (s *Source) Abort(b *Buffer)                       { _ = b }
+
+//insane:release resource=slot
+func (s *Source) Abort(b *Buffer) { _ = b }
 
 // Sink mimics insane.Sink.
 type Sink struct{}
 
+//insane:acquire resource=slot on=nilerr
 func (k *Sink) Consume() (*Message, error) { return &Message{}, nil }
-func (k *Sink) Release(m *Message)         { _ = m }
+
+//insane:release resource=slot
+func (k *Sink) Release(m *Message) { _ = m }
 
 // Seeded violation 1: write into the payload after Emit.
 func useAfterEmit(s *Source) {
@@ -148,8 +157,13 @@ type pktEnv struct {
 // cache mimes the mempool per-poller free list for packet envelopes.
 type cache struct{}
 
-func (c *cache) Get() *pktEnv      { return &pktEnv{} }
-func (c *cache) Put(e *pktEnv)     { _ = e }
+//insane:acquire resource=pooled-obj
+func (c *cache) Get() *pktEnv { return &pktEnv{} }
+
+//insane:release resource=pooled-obj
+func (c *cache) Put(e *pktEnv) { _ = e }
+
+//insane:release resource=pooled-obj
 func (c *cache) Recycle(p *Packet) { _ = p }
 
 // Seeded violation 6: touching a pooled envelope after it returned to
@@ -183,8 +197,8 @@ func reuseEnvVariable(c *cache) {
 	c.Put(e)
 }
 
-// A Put of an unrelated pooled type (sync.Pool idiom on wrappers) is not
-// a packet recycle and must not start tracking.
+// A Put on a pool with no //insane: annotation is outside the resource
+// registry and must not start tracking, whatever it is named.
 type otherPool struct{}
 
 func (p *otherPool) Put(v any) { _ = v }

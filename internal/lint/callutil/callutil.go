@@ -41,6 +41,71 @@ func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
+// Canon renders an identifier or dotted selector chain as a stable
+// tracking key ("b", "b.inner", "env.pkt"), unwrapping parens, unary
+// &/* and slice/index expressions down to their base; other shapes are
+// untrackable and yield "".
+func Canon(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return Canon(e.X)
+	case *ast.UnaryExpr:
+		return Canon(e.X)
+	case *ast.StarExpr:
+		return Canon(e.X)
+	case *ast.SelectorExpr:
+		base := Canon(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// NoReturn reports whether the call never returns to its caller:
+// the panic builtin, os.Exit, runtime.Goexit, the log.Fatal family and
+// testing's Fatal/Fatalf/FailNow/Skip helpers. Path-sensitive walkers
+// treat such calls as path terminators.
+func NoReturn(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := StaticCallee(info, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Exit":
+		return fn.Pkg() != nil && fn.Pkg().Path() == "os"
+	case "Goexit":
+		return fn.Pkg() != nil && fn.Pkg().Path() == "runtime"
+	case "Fatal", "Fatalf", "Fatalln":
+		return fn.Pkg() != nil && fn.Pkg().Path() == "log" || recvIsTesting(fn)
+	case "FailNow", "SkipNow":
+		return recvIsTesting(fn)
+	}
+	return false
+}
+
+// recvIsTesting reports whether fn is a method on a testing.T/B/F.
+func recvIsTesting(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "testing"
+}
+
 // FuncName renders a function or method compactly: pkg.Fn, (T).M or
 // (*pkg.T).M, with package qualifiers relative to the reporting pass.
 func FuncName(fn *types.Func, qual types.Qualifier) string {

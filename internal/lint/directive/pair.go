@@ -1,0 +1,214 @@
+package directive
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The //insane:acquire / //insane:release / //insane:transfer markers
+// declare a function's resource-balance effect for the paircheck
+// analyzer (DESIGN.md §13), placed in the function's doc comment:
+//
+//	//insane:acquire resource=<name> [on=true|on=nilerr]
+//	//insane:release resource=<name>
+//	//insane:transfer resource=<name> [on=true|on=nilerr]
+//	//insane:unbalanced resource=<name> by=<reason>
+//
+// An acquire means calling the function obtains one unit of the named
+// resource; a release returns one; a transfer consumes the caller's
+// unit by handing it to another owner (a ring, a scheduler, a pool).
+// The on= option makes the effect conditional: on=true ties it to the
+// function returning true (its single bool result), on=nilerr to the
+// function returning a nil error (its last error result). Without on=
+// the effect is unconditional.
+//
+// //insane:unbalanced waives the balance proof for one resource in the
+// annotated function; the mandatory by= reason documents who completes
+// the pair (e.g. a charge stored in runtime state and refunded by a
+// later release). paircheck verifies the waiver is actually needed —
+// a waiver on a balanced function is itself a finding.
+const (
+	acquireMarker    = "//insane:acquire"
+	releaseMarker    = "//insane:release"
+	transferMarker   = "//insane:transfer"
+	unbalancedMarker = "//insane:unbalanced"
+)
+
+// PairKind is the effect class of one pair annotation.
+type PairKind int
+
+// Effect classes.
+const (
+	PairAcquire PairKind = iota
+	PairRelease
+	PairTransfer
+)
+
+// String names the kind as written in the source marker.
+func (k PairKind) String() string {
+	switch k {
+	case PairAcquire:
+		return "acquire"
+	case PairRelease:
+		return "release"
+	case PairTransfer:
+		return "transfer"
+	}
+	return "pair"
+}
+
+// PairCond is the condition an effect is tied to.
+type PairCond int
+
+// Effect conditions.
+const (
+	// CondAlways: the effect happens on every call.
+	CondAlways PairCond = iota
+	// CondTrue: the effect happens iff the function returns true.
+	CondTrue
+	// CondNilErr: the effect happens iff the function returns a nil
+	// error.
+	CondNilErr
+)
+
+// String renders the condition as its on= value ("" for CondAlways).
+func (c PairCond) String() string {
+	switch c {
+	case CondTrue:
+		return "true"
+	case CondNilErr:
+		return "nilerr"
+	}
+	return ""
+}
+
+// PairEffect is one parsed acquire/release/transfer annotation.
+type PairEffect struct {
+	Kind     PairKind
+	Resource string
+	Cond     PairCond
+}
+
+// PairWaiver is one parsed //insane:unbalanced annotation.
+type PairWaiver struct {
+	Resource string
+	Reason   string
+}
+
+// PairDirectives is the parse result of the pair markers on one
+// function declaration.
+type PairDirectives struct {
+	Effects []PairEffect
+	Waivers []PairWaiver
+}
+
+// ParsePairDecl extracts the pair annotations from a declaration's doc
+// comment group, returning malformed ones as problems.
+func ParsePairDecl(doc *ast.CommentGroup) (PairDirectives, []Problem) {
+	var d PairDirectives
+	var probs []Problem
+	if doc == nil {
+		return d, nil
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		var kind PairKind
+		var marker string
+		switch {
+		case matchesMarker(text, acquireMarker):
+			kind, marker = PairAcquire, acquireMarker
+		case matchesMarker(text, releaseMarker):
+			kind, marker = PairRelease, releaseMarker
+		case matchesMarker(text, transferMarker):
+			kind, marker = PairTransfer, transferMarker
+		case matchesMarker(text, unbalancedMarker):
+			w, msg := parseWaiver(strings.TrimPrefix(text, unbalancedMarker))
+			if msg != "" {
+				probs = append(probs, Problem{Pos: c.Pos(), Msg: unbalancedMarker + ": " + msg})
+				continue
+			}
+			d.Waivers = append(d.Waivers, w)
+			continue
+		default:
+			continue
+		}
+		e, msg := parseEffect(kind, strings.TrimPrefix(text, marker))
+		if msg != "" {
+			probs = append(probs, Problem{Pos: c.Pos(), Msg: marker + ": " + msg})
+			continue
+		}
+		d.Effects = append(d.Effects, e)
+	}
+	return d, probs
+}
+
+// matchesMarker reports whether text is the marker, bare or with
+// options. Prefix matching alone would let //insane:released shadow
+// //insane:release.
+func matchesMarker(text, marker string) bool {
+	return text == marker || strings.HasPrefix(text, marker+" ")
+}
+
+// parseEffect interprets the options of one acquire/release/transfer
+// marker; rest is the text after the marker.
+func parseEffect(kind PairKind, rest string) (PairEffect, string) {
+	e := PairEffect{Kind: kind}
+	for _, f := range strings.Fields(rest) {
+		key, val, ok := strings.Cut(f, "=")
+		switch {
+		case !ok:
+			return e, "option " + f + " is not key=value"
+		case val == "":
+			return e, "empty value for " + key + "="
+		}
+		switch key {
+		case "resource":
+			e.Resource = val
+		case "on":
+			if kind == PairRelease {
+				return e, "release effects are unconditional (drop on=)"
+			}
+			switch val {
+			case "true":
+				e.Cond = CondTrue
+			case "nilerr":
+				e.Cond = CondNilErr
+			default:
+				return e, "unknown on= value " + val + " (only true and nilerr are recognized)"
+			}
+		default:
+			return e, "unknown key " + key + " (only resource= and on= are recognized)"
+		}
+	}
+	if e.Resource == "" {
+		return e, "missing resource=<name>"
+	}
+	return e, ""
+}
+
+// parseWaiver interprets the options of one //insane:unbalanced
+// marker; rest is the text after the marker. The by= reason runs to
+// the end of the line, so resource= must come first.
+func parseWaiver(rest string) (PairWaiver, string) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return PairWaiver{}, "missing resource=<name> and by=<reason>"
+	}
+	res, ok := strings.CutPrefix(rest, "resource=")
+	if !ok {
+		return PairWaiver{}, "resource=<name> must come first (the by= reason runs to end of line)"
+	}
+	name, rest, _ := strings.Cut(res, " ")
+	if name == "" {
+		return PairWaiver{}, "empty value for resource="
+	}
+	rest = strings.TrimSpace(rest)
+	reason, ok := strings.CutPrefix(rest, "by=")
+	switch {
+	case !ok:
+		return PairWaiver{}, "missing by=<reason>"
+	case strings.TrimSpace(reason) == "":
+		return PairWaiver{}, "empty reason after by="
+	}
+	return PairWaiver{Resource: name, Reason: strings.TrimSpace(reason)}, ""
+}

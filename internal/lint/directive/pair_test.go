@@ -1,0 +1,123 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestParsePairDecl(t *testing.T) {
+	const src = `package p
+
+//insane:acquire resource=mem-slot on=nilerr
+func Get() error { return nil }
+
+//insane:acquire resource=tx on=true
+func TryCharge() bool { return true }
+
+//insane:acquire resource=tx
+func Take() {}
+
+//insane:release resource=tx
+func Put() {}
+
+//insane:transfer resource=tx on=true
+func Push() bool { return true }
+
+//insane:transfer resource=mem-slot on=nilerr
+//insane:release resource=wrapper
+func EmitLike() error { return nil }
+
+//insane:unbalanced resource=tenant-mem by=charge stored in slot state, refunded by Release
+func Waived() {}
+
+//insane:acquire
+func MissingResource() {}
+
+//insane:acquire resource=tx on=maybe
+func BadCond() bool { return true }
+
+//insane:release resource=tx on=true
+func CondRelease() {}
+
+//insane:acquire resource=tx junk
+func BadOption() {}
+
+//insane:unbalanced by=reason without resource
+func WaiverNoResource() {}
+
+//insane:unbalanced resource=tx
+func WaiverNoReason() {}
+
+//insane:unbalanced resource=tx by=
+func WaiverEmptyReason() {}
+
+// Not pair markers at all.
+//insane:released resource=tx
+//insane:hotpath
+func Plain() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		d     PairDirectives
+		probs int
+	}{
+		"Get":       {PairDirectives{Effects: []PairEffect{{PairAcquire, "mem-slot", CondNilErr}}}, 0},
+		"TryCharge": {PairDirectives{Effects: []PairEffect{{PairAcquire, "tx", CondTrue}}}, 0},
+		"Take":      {PairDirectives{Effects: []PairEffect{{PairAcquire, "tx", CondAlways}}}, 0},
+		"Put":       {PairDirectives{Effects: []PairEffect{{PairRelease, "tx", CondAlways}}}, 0},
+		"Push":      {PairDirectives{Effects: []PairEffect{{PairTransfer, "tx", CondTrue}}}, 0},
+		"EmitLike": {PairDirectives{Effects: []PairEffect{
+			{PairTransfer, "mem-slot", CondNilErr},
+			{PairRelease, "wrapper", CondAlways},
+		}}, 0},
+		"Waived": {PairDirectives{Waivers: []PairWaiver{
+			{Resource: "tenant-mem", Reason: "charge stored in slot state, refunded by Release"},
+		}}, 0},
+		"MissingResource":   {PairDirectives{}, 1},
+		"BadCond":           {PairDirectives{}, 1},
+		"CondRelease":       {PairDirectives{}, 1},
+		"BadOption":         {PairDirectives{}, 1},
+		"WaiverNoResource":  {PairDirectives{}, 1},
+		"WaiverNoReason":    {PairDirectives{}, 1},
+		"WaiverEmptyReason": {PairDirectives{}, 1},
+		"Plain":             {PairDirectives{}, 0},
+	}
+	seen := 0
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		seen++
+		d, probs := ParsePairDecl(fd.Doc)
+		w, ok := want[fd.Name.Name]
+		if !ok {
+			t.Fatalf("unexpected decl %s", fd.Name.Name)
+		}
+		if !reflect.DeepEqual(d, w.d) {
+			t.Errorf("%s: directives %+v, want %+v", fd.Name.Name, d, w.d)
+		}
+		if len(probs) != w.probs {
+			t.Errorf("%s: %d problems %v, want %d", fd.Name.Name, len(probs), probs, w.probs)
+		}
+	}
+	if seen != len(want) {
+		t.Fatalf("saw %d decls, want %d", seen, len(want))
+	}
+}
+
+func TestPairKindString(t *testing.T) {
+	if PairAcquire.String() != "acquire" || PairRelease.String() != "release" || PairTransfer.String() != "transfer" {
+		t.Error("PairKind.String mismatch")
+	}
+	if CondAlways.String() != "" || CondTrue.String() != "true" || CondNilErr.String() != "nilerr" {
+		t.Error("PairCond.String mismatch")
+	}
+}

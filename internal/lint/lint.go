@@ -26,6 +26,9 @@
 //	boundedcheck    — every loop reachable from an //insane:hotpath root
 //	                  is provably bounded or carries a verified
 //	                  //insane:bounded annotation (§7 per-packet cost)
+//	paircheck       — every //insane:acquire resource has a matching
+//	                  release, transfer or verified waiver on every
+//	                  control-flow path (§5.1/§6 charge-refund balance)
 //
 // Analyzers that declare FactTypes are whole-program: Run applies them
 // over the full in-module dependency closure of the requested
@@ -49,6 +52,7 @@ import (
 	"github.com/insane-mw/insane/internal/lint/hotpathcheck"
 	"github.com/insane-mw/insane/internal/lint/loader"
 	"github.com/insane-mw/insane/internal/lint/lockorder"
+	"github.com/insane-mw/insane/internal/lint/paircheck"
 	"github.com/insane-mw/insane/internal/lint/sentinelcompare"
 	"github.com/insane-mw/insane/internal/lint/timebasecheck"
 )
@@ -66,6 +70,7 @@ func Analyzers() []*analysis.Analyzer {
 		concurrencycheck.Sync,
 		archcheck.Analyzer,
 		boundedcheck.Analyzer,
+		paircheck.Analyzer,
 	}
 }
 

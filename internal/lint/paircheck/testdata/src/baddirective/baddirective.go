@@ -1,0 +1,32 @@
+// Package baddirective carries malformed pair annotations for the
+// hand-driven malformed-directive test: the diagnostics land on the
+// directive comment lines themselves, where a trailing // want comment
+// cannot be written.
+package baddirective
+
+//insane:acquire
+func missingResource() {}
+
+//insane:acquire resource=x on=maybe
+func badCondValue() {}
+
+//insane:release resource=x on=true
+func conditionalRelease() {}
+
+//insane:transfer resource
+func notKeyValue() {}
+
+//insane:acquire resource= on=true
+func emptyResource() {}
+
+//insane:acquire resource=x scope=fn
+func unknownKey() {}
+
+//insane:unbalanced resource=x
+func waiverMissingReason() {}
+
+//insane:unbalanced by=late resource=x
+func waiverWrongOrder() {}
+
+//insane:unbalanced resource=x by=
+func waiverEmptyReason() {}

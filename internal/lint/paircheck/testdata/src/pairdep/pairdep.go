@@ -1,0 +1,22 @@
+// Package pairdep declares the annotated primitives consumed by the
+// pairuse fixture: the pair effects must travel as exported facts so a
+// cross-package caller is verified exactly like a local one.
+package pairdep
+
+// Thing is the resource unit handed across the package boundary.
+type Thing struct{ n int }
+
+//insane:acquire resource=dslot on=nilerr
+func Get() (*Thing, error) { return &Thing{}, nil }
+
+//insane:release resource=dslot
+func Put(t *Thing) { _ = t }
+
+//insane:transfer resource=dslot
+func Emit(t *Thing) { _ = t }
+
+//insane:acquire resource=dtok on=true
+func TryReserve() bool { return true }
+
+//insane:release resource=dtok
+func Unreserve() {}

@@ -1,0 +1,52 @@
+// Package pairuse calls pairdep's annotated primitives across the
+// package boundary: the acquire/release/transfer facts arrive through
+// the fact store, so the leaks here are found without any local
+// annotation.
+package pairuse
+
+import (
+	"errors"
+
+	"pairdep"
+)
+
+var errBusy = errors.New("busy")
+
+func maybe() bool { return false }
+
+// leakAcrossPackages drops the imported unit on its middle error path.
+func leakAcrossPackages() error {
+	th, err := pairdep.Get()
+	if err != nil {
+		return err
+	}
+	if maybe() {
+		return errBusy // want `resource dslot acquired via pairdep\.Get at line \d+ is not released on this return path`
+	}
+	pairdep.Emit(th)
+	return nil
+}
+
+// refundAfterFailedReserve releases a unit the failed conditional
+// acquire never produced.
+func refundAfterFailedReserve() {
+	if !pairdep.TryReserve() {
+		pairdep.Unreserve() // want `release of resource dtok via pairdep\.Unreserve on a path where the conditional acquire at line \d+ did not succeed`
+		return
+	}
+	pairdep.Unreserve()
+}
+
+// balanced is the clean cross-package shape.
+func balanced() error {
+	th, err := pairdep.Get()
+	if err != nil {
+		return err
+	}
+	if maybe() {
+		pairdep.Put(th)
+		return errBusy
+	}
+	pairdep.Emit(th)
+	return nil
+}

@@ -1,0 +1,864 @@
+package paircheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/callutil"
+	"github.com/insane-mw/insane/internal/lint/directive"
+	"github.com/insane-mw/insane/internal/lint/pairfacts"
+)
+
+// frameKind distinguishes the statements an unlabeled break can target.
+type frameKind int
+
+const (
+	frameLoop frameKind = iota
+	frameSwitch
+	frameSelect
+)
+
+// frame is one enclosing breakable statement on the walker's stack.
+type frame struct {
+	kind   frameKind
+	label  string
+	depth  int       // loop depth of the frame body (loops only)
+	pos    token.Pos // the statement's position (loop-scope checks)
+	breaks []*state
+}
+
+// walker verifies one function body against the pair convention.
+type walker struct {
+	pass      *analysis.Pass
+	fname     string
+	sig       *types.Signature
+	isLit     bool
+	declared  map[string]directive.PairCond // declared acquire resources
+	skip      map[string]bool               // declared release/transfer resources
+	waived    map[string]bool
+	waiverHit map[string]bool
+	hasEffect map[string]bool // resource -> body calls an annotated function for it
+	nonLocal  map[types.Object]bool
+	bodyEnd   token.Pos
+	depth     int
+	frames    []*frame
+	label     string // pending label for the next loop/switch
+	reported  map[string]bool
+}
+
+// line is shorthand for the source line of a position.
+func (w *walker) line(pos token.Pos) int { return w.pass.Fset.Position(pos).Line }
+
+func (w *walker) funcName(fn *types.Func) string {
+	return callutil.FuncName(fn, types.RelativeTo(w.pass.Pkg))
+}
+
+// flag emits one deduplicated diagnostic unless the resource is waived
+// in this function, in which case the waiver is recorded as needed.
+func (w *walker) flag(resource string, pos token.Pos, format string, args ...interface{}) {
+	if w.waived[resource] {
+		w.waiverHit[resource] = true
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d\x00%s", pos, msg)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	w.pass.Reportf(pos, "%s", msg)
+}
+
+// walkStmts walks a statement list, threading the path state; nil
+// means every path through the list terminated (return/panic/branch).
+func (w *walker) walkStmts(stmts []ast.Stmt, st *state) *state {
+	for _, s := range stmts {
+		if st == nil {
+			return nil
+		}
+		st = w.walkStmt(s, st)
+	}
+	return st
+}
+
+func (w *walker) walkStmt(s ast.Stmt, st *state) *state {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		var topCall *ast.CallExpr
+		if len(s.Rhs) == 1 {
+			topCall, _ = ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		}
+		for _, r := range s.Rhs {
+			w.applyNested(st, r, topCall)
+		}
+		w.escapeStores(st, s.Lhs, s.Rhs)
+		w.propagateAliases(st, s.Lhs, s.Rhs)
+		for _, l := range s.Lhs {
+			if key := callutil.Canon(l); key != "" {
+				for _, t := range st.toks {
+					if t.live() && t.key == key {
+						t.key = key + "#stale"
+					}
+				}
+			}
+		}
+		if topCall != nil {
+			w.applyCall(st, topCall, s.Lhs)
+		}
+		return st
+
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return st
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			var topCall *ast.CallExpr
+			if len(vs.Values) == 1 {
+				topCall, _ = ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+			}
+			for _, v := range vs.Values {
+				w.applyNested(st, v, topCall)
+			}
+			if topCall != nil {
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				w.applyCall(st, topCall, lhs)
+			}
+		}
+		return st
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if callutil.NoReturn(w.pass.TypesInfo, call) {
+				return nil
+			}
+			w.applyNested(st, call, call)
+			w.applyCall(st, call, nil)
+			return st
+		}
+		w.applyNested(st, s.X, nil)
+		return st
+
+	case *ast.ReturnStmt:
+		w.doExit(st, s)
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if st = w.walkStmt(s.Init, st); st == nil {
+				return nil
+			}
+		}
+		thenSt, elseSt := w.splitCond(s.Cond, st)
+		cond := types.ExprString(s.Cond)
+		thenSt.note(cond)
+		elseSt.note("!(" + cond + ")")
+		thenOut := w.walkStmts(s.Body.List, thenSt)
+		elseOut := elseSt
+		if s.Else != nil {
+			elseOut = w.walkStmt(s.Else, elseSt)
+		}
+		return merge(thenOut, elseOut)
+
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if st = w.walkStmt(s.Init, st); st == nil {
+				return nil
+			}
+		}
+		bodySt, exitSt := st.clone(), (*state)(nil)
+		if s.Cond != nil {
+			bodySt, exitSt = w.splitCond(s.Cond, st)
+			w.applyNested(bodySt, s.Cond, nil)
+		}
+		fr := w.pushFrame(frameLoop, s.Pos())
+		w.depth++
+		out := w.walkStmts(s.Body.List, bodySt)
+		if out != nil {
+			w.iterEndAt(out, s.Body.Rbrace, fr.depth, fr.pos)
+		}
+		w.depth--
+		w.popFrame()
+		return mergeAll(append(fr.breaks, exitSt)...)
+
+	case *ast.RangeStmt:
+		w.applyNested(st, s.X, nil)
+		fr := w.pushFrame(frameLoop, s.Pos())
+		w.depth++
+		out := w.walkStmts(s.Body.List, st.clone())
+		if out != nil {
+			w.iterEndAt(out, s.Body.Rbrace, fr.depth, fr.pos)
+		}
+		w.depth--
+		w.popFrame()
+		return mergeAll(append(fr.breaks, st)...)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			if st = w.walkStmt(s.Init, st); st == nil {
+				return nil
+			}
+		}
+		if s.Tag != nil {
+			w.applyNested(st, s.Tag, nil)
+		}
+		fr := w.pushFrame(frameSwitch, s.Pos())
+		cur := st
+		var outs []*state
+		hasDefault := false
+		var defaultBody []ast.Stmt
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if len(cc.List) == 0 {
+				hasDefault = true
+				defaultBody = cc.Body
+				continue
+			}
+			var branch *state
+			if s.Tag == nil && len(cc.List) == 1 {
+				// Untagged switch: the cases are boolean conditions,
+				// split exactly like an if/else-if chain.
+				var t, f *state
+				t, f = w.splitCond(cc.List[0], cur)
+				t.note(types.ExprString(cc.List[0]))
+				branch, cur = t, f
+			} else {
+				for _, e := range cc.List {
+					w.applyNested(cur, e, nil)
+				}
+				branch = cur.clone()
+			}
+			outs = append(outs, w.walkStmts(cc.Body, branch))
+		}
+		if hasDefault {
+			outs = append(outs, w.walkStmts(defaultBody, cur))
+		} else {
+			outs = append(outs, cur)
+		}
+		w.popFrame()
+		return mergeAll(append(outs, fr.breaks...)...)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			if st = w.walkStmt(s.Init, st); st == nil {
+				return nil
+			}
+		}
+		fr := w.pushFrame(frameSwitch, s.Pos())
+		var outs []*state
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if len(cc.List) == 0 {
+				hasDefault = true
+			}
+			outs = append(outs, w.walkStmts(cc.Body, st.clone()))
+		}
+		if !hasDefault {
+			outs = append(outs, st)
+		}
+		w.popFrame()
+		return mergeAll(append(outs, fr.breaks...)...)
+
+	case *ast.SelectStmt:
+		fr := w.pushFrame(frameSelect, s.Pos())
+		var outs []*state
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := st.clone()
+			if cc.Comm != nil {
+				branch = w.walkStmt(cc.Comm, branch)
+			}
+			if branch != nil {
+				branch = w.walkStmts(cc.Body, branch)
+			}
+			outs = append(outs, branch)
+		}
+		w.popFrame()
+		return mergeAll(append(outs, fr.breaks...)...)
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if fr := w.findFrame(label, false); fr != nil {
+				fr.breaks = append(fr.breaks, st)
+			}
+		case token.CONTINUE:
+			if fr := w.findFrame(label, true); fr != nil {
+				w.iterEndAt(st, s.Pos(), fr.depth, fr.pos)
+			}
+		}
+		return nil // break/continue/goto/fallthrough all end this path
+
+	case *ast.LabeledStmt:
+		w.label = s.Label.Name
+		return w.walkStmt(s.Stmt, st)
+
+	case *ast.DeferStmt:
+		for _, a := range s.Call.Args {
+			w.applyNested(st, a, nil)
+		}
+		st.defers = append(st.defers, deferEntry{pos: s.Pos(), call: s.Call})
+		return st
+
+	case *ast.GoStmt:
+		// Ownership of anything the goroutine can reach moves with it.
+		w.dischargeMentioned(st, s.Call, s.Pos())
+		return st
+
+	case *ast.SendStmt:
+		w.applyNested(st, s.Value, nil)
+		w.dischargeMentioned(st, s.Value, s.Pos())
+		return st
+
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+		return st
+	}
+	return st
+}
+
+// pushFrame enters a breakable statement, consuming any pending label.
+func (w *walker) pushFrame(kind frameKind, pos token.Pos) *frame {
+	fr := &frame{kind: kind, label: w.label, depth: w.depth + 1, pos: pos}
+	w.label = ""
+	w.frames = append(w.frames, fr)
+	return fr
+}
+
+func (w *walker) popFrame() { w.frames = w.frames[:len(w.frames)-1] }
+
+// findFrame resolves the target of a break (any frame) or continue
+// (loops only), innermost first, honoring labels.
+func (w *walker) findFrame(label string, loopOnly bool) *frame {
+	for i := len(w.frames) - 1; i >= 0; i-- {
+		fr := w.frames[i]
+		if loopOnly && fr.kind != frameLoop {
+			continue
+		}
+		if label == "" || fr.label == label {
+			return fr
+		}
+	}
+	return nil
+}
+
+// iterEndAt flags tokens acquired inside the current loop iteration
+// that are still provably live when the iteration ends: the next
+// iteration re-acquires, so each lap leaks one unit. Tokens held by a
+// variable declared before the loop are exempt — the next lap still
+// sees the holder (the retry-same-buffer emit pattern), so holding one
+// across laps is ordinary flow control, not a leak.
+func (w *walker) iterEndAt(st *state, pos token.Pos, depth int, loopPos token.Pos) {
+	dk := deferredKeys(st)
+	for _, t := range st.toks {
+		if !t.firm() || t.depth < depth || t.guard != nil {
+			continue
+		}
+		if t.holderPos.IsValid() && t.holderPos < loopPos {
+			continue // holder outlives the loop; exits still checked
+		}
+		if dk[baseKey(t.key)] {
+			continue // a registered defer cleans it up at function exit
+		}
+		w.flag(t.resource, pos, "resource %s acquired via %s at line %d is still held at the end of the loop iteration; it leaks once per lap%s",
+			t.resource, t.via, w.line(t.pos), st.path())
+	}
+}
+
+// deferredKeys collects the base keys a registered defer might
+// release, to keep iteration-end checks from second-guessing them.
+func deferredKeys(st *state) map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range st.defers {
+		call, ok := d.call.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if lit, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); isLit {
+			for name := range identNames(lit.Body) {
+				out[name] = true
+			}
+			continue
+		}
+		for _, k := range candidateKeys(call) {
+			out[baseKey(k)] = true
+		}
+	}
+	return out
+}
+
+func baseKey(key string) string {
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// identNames collects every identifier mentioned under a node,
+// including inside closures (captures carry ownership).
+func identNames(n ast.Node) map[string]bool {
+	names := make(map[string]bool)
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			names[id.Name] = true
+		}
+		return true
+	})
+	return names
+}
+
+// dischargeMentioned transfers every live token whose holder is
+// reachable from the expression (go statement, channel send): another
+// owner can now release it, so this function's obligation ends.
+func (w *walker) dischargeMentioned(st *state, n ast.Node, pos token.Pos) {
+	names := identNames(n)
+	for _, t := range st.toks {
+		if t.live() && t.key != "" && anyBaseIn(names, t) {
+			t.status = stReleased
+			t.relPos = pos
+			t.relVia = "handoff"
+		}
+	}
+}
+
+// anyBaseIn reports whether any of the token's holder base names is in
+// the mentioned-identifier set.
+func anyBaseIn(names map[string]bool, t *tok) bool {
+	for _, b := range holderBases(t) {
+		if names[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// propagateAliases records holder flow through local wrappers: when an
+// assigned RHS mentions a live token's holder (`m := wrapDelivery(d)`),
+// the LHS becomes another name the unit answers to, so a later
+// `Release(m)` still matches the token acquired into `d`.
+func (w *walker) propagateAliases(st *state, lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, r := range rhs {
+		key := callutil.Canon(lhs[i])
+		if key == "" {
+			continue
+		}
+		names := identNames(r)
+		for _, t := range st.toks {
+			if !t.live() || t.key == "" || t.key == key {
+				continue
+			}
+			if names[strings.TrimSuffix(baseKey(t.key), "#stale")] && !containsKey(t.aliases, key) {
+				t.aliases = append(t.aliases, key)
+			}
+		}
+	}
+}
+
+// escapeStores discharges tokens stored into memory that outlives the
+// call frame: a field of the receiver or a parameter, or a package
+// variable. Storing into a local struct keeps the obligation here.
+func (w *walker) escapeStores(st *state, lhs, rhs []ast.Expr) {
+	var names map[string]bool
+	for _, l := range lhs {
+		if !w.lhsEscapes(l) {
+			continue
+		}
+		if names == nil {
+			names = make(map[string]bool)
+			for _, r := range rhs {
+				for n := range identNames(r) {
+					names[n] = true
+				}
+			}
+		}
+		for _, t := range st.toks {
+			if t.live() && t.key != "" && anyBaseIn(names, t) {
+				t.status = stReleased
+				t.relPos = l.Pos()
+				t.relVia = "store"
+			}
+		}
+	}
+}
+
+// lhsEscapes reports whether assigning through this LHS stores outside
+// the current frame.
+func (w *walker) lhsEscapes(l ast.Expr) bool {
+	switch ast.Unparen(l).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	key := callutil.Canon(l)
+	if key == "" {
+		return true // unrecognized store shape: assume it escapes
+	}
+	if w.isLit {
+		return true // closures capture freely; be lenient
+	}
+	// Resolve the base identifier.
+	name := baseKey(key)
+	var obj types.Object
+	ast.Inspect(l, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && obj == nil {
+			obj = w.pass.TypesInfo.Uses[id]
+		}
+		return true
+	})
+	if obj == nil {
+		return true
+	}
+	if w.nonLocal[obj] {
+		return true
+	}
+	return obj.Parent() == w.pass.Pkg.Scope()
+}
+
+// applyNested applies the release/transfer effects of calls nested in
+// an expression (excluding skipTop, which the caller handles with its
+// assignment context). Nested acquires hand their result to the
+// surrounding expression and are not tracked.
+func (w *walker) applyNested(st *state, e ast.Expr, skipTop *ast.CallExpr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed separately
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call == skipTop {
+			return true
+		}
+		fn := callutil.StaticCallee(w.pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		for _, eff := range pairfacts.Lookup(w.pass, fn) {
+			if w.skip[eff.Resource] {
+				continue
+			}
+			switch eff.Kind {
+			case directive.PairRelease:
+				w.releaseAt(st, eff.Resource, candidateKeys(call), call.Pos(), fn, false)
+			case directive.PairTransfer:
+				for _, t := range transferTargets(st, eff.Resource, call) {
+					w.discharge(t, call.Pos(), fn)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// applyCall applies every declared effect of a statement-level call,
+// with the assignment left-hand side providing the token key and the
+// gating variable for conditional effects.
+func (w *walker) applyCall(st *state, call *ast.CallExpr, lhs []ast.Expr) {
+	fn := callutil.StaticCallee(w.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	for _, e := range pairfacts.Lookup(w.pass, fn) {
+		if w.skip[e.Resource] {
+			continue
+		}
+		switch e.Kind {
+		case directive.PairAcquire:
+			w.acquire(st, call, fn, e, lhs)
+		case directive.PairRelease:
+			w.releaseAt(st, e.Resource, candidateKeys(call), call.Pos(), fn, false)
+		case directive.PairTransfer:
+			w.transfer(st, call, fn, e, lhs)
+		}
+	}
+}
+
+// newTok creates a live token for an acquire call.
+func (w *walker) newTok(st *state, call *ast.CallExpr, fn *types.Func, e directive.PairEffect, lhs []ast.Expr) *tok {
+	key, holder := keyFromLHS(w.pass.TypesInfo, lhs)
+	if key == "" {
+		key = recvCanon(call)
+	}
+	t := &tok{pos: call.Pos(), resource: e.Resource, key: key, via: w.funcName(fn), depth: w.depth, holderPos: holder}
+	st.toks = append(st.toks, t)
+	return t
+}
+
+func (w *walker) acquire(st *state, call *ast.CallExpr, fn *types.Func, e directive.PairEffect, lhs []ast.Expr) {
+	t := w.newTok(st, call, fn, e, lhs)
+	switch e.Cond {
+	case directive.CondNilErr:
+		if obj := errorObjLHS(w.pass.TypesInfo, lhs); obj != nil {
+			t.pendAcq = &pending{obj: obj, cond: e.Cond, pos: call.Pos(), via: t.via}
+		}
+		// Error discarded with _: the caller asserts success; the
+		// token is firm and must still be balanced.
+	case directive.CondTrue:
+		if obj := boolObjLHS(w.pass.TypesInfo, lhs); obj != nil {
+			t.pendAcq = &pending{obj: obj, cond: e.Cond, pos: call.Pos(), via: t.via}
+		} else {
+			st.drop(t)
+			w.flag(e.Resource, call.Pos(), "result of conditional acquire %s (resource %s) is ignored; whether a unit was obtained cannot be proven", t.via, e.Resource)
+		}
+	}
+}
+
+func (w *walker) transfer(st *state, call *ast.CallExpr, fn *types.Func, e directive.PairEffect, lhs []ast.Expr) {
+	live := transferTargets(st, e.Resource, call)
+	if len(live) == 0 {
+		return // consuming a unit this function never tracked is fine
+	}
+	var obj types.Object
+	switch e.Cond {
+	case directive.CondNilErr:
+		obj = errorObjLHS(w.pass.TypesInfo, lhs)
+	case directive.CondTrue:
+		obj = boolObjLHS(w.pass.TypesInfo, lhs)
+	}
+	if e.Cond == directive.CondAlways || obj == nil {
+		// Unconditional, or the result is discarded: treat as done.
+		for _, t := range live {
+			w.discharge(t, call.Pos(), fn)
+		}
+		return
+	}
+	p := &pending{obj: obj, cond: e.Cond, pos: call.Pos(), via: w.funcName(fn)}
+	for _, t := range live {
+		t.pendXfer = p
+	}
+}
+
+// transferTargets narrows a transfer's effect to the units the call can
+// actually see: when any live token's holder appears as the receiver or
+// an argument of the call, only those tokens move; otherwise (synthetic
+// keys, holder passed through a struct) every live unit is a candidate.
+func transferTargets(st *state, resource string, call *ast.CallExpr) []*tok {
+	live := st.liveOf(resource)
+	if len(live) <= 1 {
+		return live
+	}
+	keys := candidateKeys(call)
+	var matched []*tok
+	for _, t := range live {
+		if tokMatchesKeys(t, keys) {
+			matched = append(matched, t)
+		}
+	}
+	if len(matched) > 0 {
+		return matched
+	}
+	return live
+}
+
+func (w *walker) discharge(t *tok, pos token.Pos, fn *types.Func) {
+	t.status = stReleased
+	t.relPos = pos
+	if fn != nil {
+		t.relVia = w.funcName(fn)
+	}
+	t.pendAcq = nil
+	t.pendXfer = nil
+}
+
+// releaseAt resolves one release effect against the path state:
+// exact-key match first, then the sole live unit of the resource, then
+// the double-release and failed-conditional-acquire findings; a
+// release with no tracked unit and no failed acquire acts on a
+// caller-owned unit and is fine.
+func (w *walker) releaseAt(st *state, resource string, keys []string, pos token.Pos, fn *types.Func, lenient bool) {
+	live := st.liveOf(resource)
+	for _, t := range live {
+		if tokMatchesKeys(t, keys) {
+			w.discharge(t, pos, fn)
+			return
+		}
+	}
+	for _, t := range st.toks {
+		if t.resource == resource && t.status == stReleased && !t.maybe && tokMatchesKeys(t, keys) {
+			if !lenient {
+				w.flag(resource, pos, "resource %s already %s at line %d is released again via %s (double release)",
+					resource, releasedVerb(t), w.line(t.relPos), w.funcName(fn))
+			}
+			return
+		}
+	}
+	if len(live) > 0 && !keyEvidenceAgainst(keys, live[0]) {
+		w.discharge(live[0], pos, fn)
+		return
+	}
+	if acqPos, ok := st.dropped[resource]; ok && !lenient {
+		w.flag(resource, pos, "release of resource %s via %s on a path where the conditional acquire at line %d did not succeed%s",
+			resource, w.funcName(fn), w.line(acqPos), st.path())
+	}
+}
+
+func releasedVerb(t *tok) string {
+	if t.relVia == "handoff" || t.relVia == "store" {
+		return "handed off"
+	}
+	return "released via " + t.relVia
+}
+
+// tokMatchesKeys reports whether any candidate key names the token's
+// holder or one of its aliases exactly.
+func tokMatchesKeys(t *tok, keys []string) bool {
+	if t.key != "" && containsKey(keys, t.key) {
+		return true
+	}
+	for _, a := range t.aliases {
+		if containsKey(keys, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// holderBases returns the base identifiers the token's unit is known
+// by: its key (stale marker stripped) and every alias.
+func holderBases(t *tok) []string {
+	out := []string{strings.TrimSuffix(baseKey(t.key), "#stale")}
+	for _, a := range t.aliases {
+		out = append(out, baseKey(a))
+	}
+	return out
+}
+
+// keyEvidenceAgainst reports whether a release call's candidate keys
+// positively name holders other than the token's: `mm.Release(req.Slot)`
+// should not discharge a sole live unit held by `echo`. No keys, or a
+// synthetic token key, is no evidence either way.
+func keyEvidenceAgainst(keys []string, t *tok) bool {
+	if t.key == "" || len(keys) == 0 {
+		return false
+	}
+	bases := holderBases(t)
+	for _, k := range keys {
+		kb := baseKey(k)
+		for _, b := range bases {
+			if kb == b {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func containsKey(keys []string, key string) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// candidateKeys renders the receiver and arguments of a call as
+// tracking keys a release may be matched against.
+func candidateKeys(call *ast.CallExpr) []string {
+	var keys []string
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if k := callutil.Canon(sel.X); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	for _, a := range call.Args {
+		if k := callutil.Canon(a); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func recvCanon(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return callutil.Canon(sel.X)
+	}
+	return ""
+}
+
+func lhsObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsBoolean != 0
+}
+
+func errorObjLHS(info *types.Info, lhs []ast.Expr) types.Object {
+	for _, e := range lhs {
+		if o := lhsObj(info, e); o != nil && o.Type() != nil && isErrorType(o.Type()) {
+			return o
+		}
+	}
+	return nil
+}
+
+func boolObjLHS(info *types.Info, lhs []ast.Expr) types.Object {
+	for _, e := range lhs {
+		if o := lhsObj(info, e); o != nil && o.Type() != nil && isBoolType(o.Type()) {
+			return o
+		}
+	}
+	return nil
+}
+
+// keyFromLHS picks the assigned variable that holds the acquired
+// resource — the first name that is not the error/bool gate — and
+// reports the declaration position of that holder, so loop checks can
+// tell a holder declared outside the loop from a per-lap one.
+func keyFromLHS(info *types.Info, lhs []ast.Expr) (string, token.Pos) {
+	for _, e := range lhs {
+		o := lhsObj(info, e)
+		if o == nil || o.Type() == nil || isErrorType(o.Type()) || isBoolType(o.Type()) {
+			continue
+		}
+		if key := callutil.Canon(e); key != "" {
+			return key, o.Pos()
+		}
+	}
+	return "", token.NoPos
+}

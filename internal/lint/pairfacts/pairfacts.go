@@ -1,0 +1,85 @@
+// Package pairfacts is the shared resource-pair registry of the
+// insanevet suite (DESIGN.md §13). Functions declare their effect on a
+// named resource with //insane:acquire, //insane:release and
+// //insane:transfer annotations (parsed by internal/lint/directive);
+// this package turns those declarations into per-function facts that
+// travel the whole-program dependency closure, so any analyzer that
+// needs to know "does this call balance, create or consume a resource"
+// — paircheck proving acquire/release balance, bufownership deriving
+// its ownership-kill set — reads one registry instead of keeping a
+// private list of runtime functions.
+package pairfacts
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/insane-mw/insane/internal/lint/analysis"
+	"github.com/insane-mw/insane/internal/lint/directive"
+)
+
+// Effects is the fact attached to every function with at least one
+// pair annotation: its declared resource effects, in source order.
+type Effects struct {
+	List []directive.PairEffect
+}
+
+// AFact marks Effects as an analysis fact.
+func (*Effects) AFact() {}
+
+// Decl pairs one annotated declaration with its parse result, for the
+// exporting pass's own verification walk.
+type Decl struct {
+	Fn   *ast.FuncDecl
+	Obj  *types.Func
+	Dirs directive.PairDirectives
+}
+
+// Export parses the pair annotations of every function declared in the
+// pass's package, exports an Effects fact for each annotated function,
+// and returns the annotated declarations plus any malformed
+// annotations. Call it before walking bodies, so same-package calls
+// resolve their effects exactly like cross-package ones.
+func Export(pass *analysis.Pass) ([]Decl, []directive.Problem) {
+	var decls []Decl
+	var probs []directive.Problem
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			dirs, ps := directive.ParsePairDecl(fd.Doc)
+			probs = append(probs, ps...)
+			if len(dirs.Effects) == 0 && len(dirs.Waivers) == 0 {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, Decl{Fn: fd, Obj: obj, Dirs: dirs})
+			if len(dirs.Effects) > 0 {
+				pass.ExportObjectFact(obj, &Effects{List: dirs.Effects})
+			}
+		}
+	}
+	return decls, probs
+}
+
+// Lookup returns the declared effects of a function, resolving generic
+// instantiations back to their origin declaration (facts are exported
+// on the generic method, calls resolve to the instantiated one).
+func Lookup(pass *analysis.Pass, fn *types.Func) []directive.PairEffect {
+	if fn == nil {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	var f Effects
+	if pass.ImportObjectFact(fn, &f) {
+		return f.List
+	}
+	return nil
+}

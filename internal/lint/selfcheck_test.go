@@ -44,7 +44,7 @@ func TestRepositoryIsClean(t *testing.T) {
 	if info.ClosurePackages < 30 {
 		t.Errorf("whole-program closure covered only %d packages (want >= 30)", info.ClosurePackages)
 	}
-	for _, name := range []string{"goroutinecheck", "lockorder", "hotpathcheck", "archcheck", "boundedcheck"} {
+	for _, name := range []string{"goroutinecheck", "lockorder", "hotpathcheck", "archcheck", "boundedcheck", "paircheck", "bufownership"} {
 		if n := info.WholeProgram[name]; n < 30 {
 			t.Errorf("whole-program analyzer %s ran over %d packages (want >= 30)", name, n)
 		}
@@ -126,5 +126,52 @@ func TestWorkBoundWaiversAreAlive(t *testing.T) {
 	}
 	if waivers < 20 {
 		t.Errorf("only %d //insane:bounded annotations in the tree; the work-bound waiver set has shrunk (want >= 20)", waivers)
+	}
+}
+
+// TestResourceRegistryIsAlive asserts two invariants of the paircheck
+// resource registry (DESIGN.md §13). First, the annotation set has not
+// silently shrunk: every charge/refund and get/put pair the balance
+// proof covers is rooted in an //insane:acquire, //insane:release or
+// //insane:transfer comment, so a healthy count means the proof still
+// has teeth. Second, the //insane:unbalanced waiver count stays at a
+// hard ceiling: a waiver is an unproven ownership claim, and the tree
+// currently needs none — any growth past the ceiling means balance
+// holes are being waved through instead of fixed.
+func TestResourceRegistryIsAlive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parses the entire module")
+	}
+	ldr, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ldr.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, waivers := 0, 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					switch {
+					case strings.HasPrefix(text, "//insane:acquire"),
+						strings.HasPrefix(text, "//insane:release"),
+						strings.HasPrefix(text, "//insane:transfer"):
+						pairs++
+					case strings.HasPrefix(text, "//insane:unbalanced"):
+						waivers++
+					}
+				}
+			}
+		}
+	}
+	if pairs < 30 {
+		t.Errorf("only %d //insane:{acquire,release,transfer} annotations in the tree; the resource registry has shrunk (want >= 30)", pairs)
+	}
+	if waivers > 3 {
+		t.Errorf("%d //insane:unbalanced waivers in the tree (ceiling 3); prove the balance instead of waiving it", waivers)
 	}
 }

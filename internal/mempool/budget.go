@@ -45,6 +45,7 @@ func NewBudget(limit int) *Budget {
 // usage exceed the limit.
 //
 //insane:hotpath
+//insane:acquire resource=tenant-mem on=true
 func (b *Budget) TryCharge() bool {
 	used := b.used.Add(1)
 	if b.limit > 0 && used > b.limit {
@@ -57,6 +58,7 @@ func (b *Budget) TryCharge() bool {
 // Uncharge returns one reserved slot to the budget.
 //
 //insane:hotpath
+//insane:release resource=tenant-mem
 func (b *Budget) Uncharge() { b.used.Add(-1) }
 
 // Used reports the slots currently charged.

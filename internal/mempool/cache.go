@@ -82,6 +82,7 @@ type Cache[T any] struct {
 // until Put.
 //
 //insane:hotpath
+//insane:acquire resource=pooled-obj
 func (c *Cache[T]) Get() T {
 	if n := len(c.local); n > 0 {
 		v := c.local[n-1]
@@ -105,6 +106,7 @@ func (c *Cache[T]) Get() T {
 // bufownership rule enforces for Emit/Release).
 //
 //insane:hotpath
+//insane:release resource=pooled-obj
 func (c *Cache[T]) Put(v T) {
 	if len(c.local) < cap(c.local) {
 		c.local = append(c.local, v)

@@ -178,6 +178,7 @@ func NewManager(cfg Config) (*Manager, error) {
 // (or the final Release when the reference count was raised).
 //
 //insane:hotpath
+//insane:acquire resource=mem-slot on=nilerr
 func (m *Manager) Get(size int, owner Owner) (SlotID, []byte, error) {
 	return m.GetBudget(size, owner, nil)
 }
@@ -188,6 +189,7 @@ func (m *Manager) Get(size int, owner Owner) (SlotID, []byte, error) {
 // ReleaseOwner — uncharges the budget automatically.
 //
 //insane:hotpath
+//insane:acquire resource=mem-slot on=nilerr
 func (m *Manager) GetBudget(size int, owner Owner, b *Budget) (SlotID, []byte, error) {
 	if b != nil && !b.TryCharge() {
 		m.fails.Add(1)
@@ -276,6 +278,7 @@ func (m *Manager) AddRef(id SlotID, n int) error {
 // to its pool's free ring.
 //
 //insane:hotpath
+//insane:release resource=mem-slot
 func (m *Manager) Release(id SlotID) error {
 	p, idx, err := m.locate(id)
 	if err != nil {

@@ -159,9 +159,13 @@ func NewTAS(gcl GCL) (*TAS, error) {
 }
 
 // Enqueue files the packet under its traffic class, recording when it
-// arrived on the scheduler's clock.
+// arrived on the scheduler's clock. The packet — its slot and its
+// pooled envelope — belongs to the scheduler until Dequeue hands it to
+// dispatch.
 //
 //insane:hotpath
+//insane:transfer resource=pooled-obj
+//insane:transfer resource=mem-slot
 func (t *TAS) Enqueue(p *datapath.Packet, now timebase.VTime) {
 	class := p.Class
 	if class >= NumClasses {

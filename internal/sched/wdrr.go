@@ -95,9 +95,13 @@ func (w *WDRR) Tenants() int { return len(w.queues) }
 
 // Enqueue files the packet under its tenant's queue, recording when it
 // arrived on the scheduler's clock. Unknown tenant indexes (a stale
-// packet after a reconfiguration) fall back to queue 0.
+// packet after a reconfiguration) fall back to queue 0. The packet —
+// its slot and its pooled envelope — belongs to the scheduler until
+// Dequeue hands it to dispatch.
 //
 //insane:hotpath
+//insane:transfer resource=pooled-obj
+//insane:transfer resource=mem-slot
 func (w *WDRR) Enqueue(p *datapath.Packet, now timebase.VTime) {
 	ti := int(p.Tenant)
 	if ti >= len(w.queues) {

@@ -34,6 +34,7 @@ var counterHelp = [NumCounters]string{
 	CtrRTCDeliveries:      "Local deliveries made synchronously by the run-to-completion fast path.",
 	CtrRTCFallbacks:       "Emits on RTC-enabled streams that fell back to the queued path.",
 	CtrTenantQuotaRejects: "Admissions refused by a tenant quota (slot budget or TX token cap).",
+	CtrTxReclaims:         "TX tokens reclaimed undrained from the lanes of a detaching session.",
 }
 
 // histHelp documents each histogram.

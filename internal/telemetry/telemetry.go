@@ -61,6 +61,10 @@ const (
 	// CtrTenantQuotaRejects counts admissions refused by a tenant quota
 	// (mempool slot budget or in-flight TX token cap, DESIGN.md §12).
 	CtrTenantQuotaRejects
+	// CtrTxReclaims counts TX tokens reclaimed from a session's lanes at
+	// detach: each was charged and queued but never drained by a poller
+	// (slot released, tenant uncharged, DESIGN.md §13).
+	CtrTxReclaims
 
 	// NumCounters sizes the per-shard counter array.
 	NumCounters
@@ -84,6 +88,7 @@ var counterNames = [NumCounters]string{
 	CtrRTCDeliveries:      "rtc_deliveries",
 	CtrRTCFallbacks:       "rtc_fallbacks",
 	CtrTenantQuotaRejects: "tenant_quota_rejects",
+	CtrTxReclaims:         "tx_reclaims",
 }
 
 // NameOf returns the stable exporter name of a counter.

@@ -111,7 +111,11 @@ func (m *MoM) PublishInto(topic string, size int, fill func(dst []byte) int) err
 	buf.AddProcessing(momOverhead)
 	for {
 		_, err := src.Emit(buf, n)
+		if err == nil {
+			return nil
+		}
 		if !errors.Is(err, insane.ErrBackpressure) {
+			src.Abort(buf)
 			return err
 		}
 	}

@@ -140,6 +140,7 @@ func (s *Server) SendFrame(frame []byte) (int, error) {
 			time.Sleep(5 * time.Microsecond)
 		}
 		if err != nil {
+			s.src.Abort(buf)
 			return idx, err
 		}
 	}
