@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet lint lint-hotpath lint-concurrency lint-arch lint-bounded lint-pair bench bench-baseline bench-compare bench-isolation metrics-smoke experiments demo examples loc help
+.PHONY: all test race vet lint lint-hotpath lint-concurrency lint-arch lint-bounded lint-pair lint-guard bench bench-baseline bench-compare bench-isolation metrics-smoke experiments demo examples loc help
 
 all: vet test lint ## vet + test + lint (the CI gate)
 
@@ -35,6 +35,9 @@ lint-bounded: ## prove every hot-path loop bounded or waived with //insane:bound
 
 lint-pair: ## prove every resource acquire balanced by a release/transfer on all paths
 	$(GO) run ./cmd/insanevet -run paircheck ./...
+
+lint-guard: ## prove every //insane:shared field's declared synchronization regime
+	$(GO) run ./cmd/insanevet -run guardcheck ./...
 
 bench: ## run every benchmark
 	$(GO) test -bench=. -benchmem ./...

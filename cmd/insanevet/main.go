@@ -9,10 +9,17 @@
 // path for every goroutine the runtime spawns (annotated with
 // //insane:goroutine owner=<type> stop=<method>). The archcheck rule
 // fences imports to the layering declared in ARCH.layers (a stale spec
-// aborts the run), and boundedcheck proves every loop reachable from a
+// aborts the run), boundedcheck proves every loop reachable from a
 // hot-path root bounded by a compile-time constant or waived with a
-// verified //insane:bounded by=<reason> annotation. See README,
-// "Static analysis".
+// verified //insane:bounded by=<reason> annotation, paircheck proves
+// every //insane:acquire balanced by a release or transfer on all
+// control-flow paths, and guardcheck proves every field of an
+// //insane:shared struct accessed under its declared synchronization
+// regime (//insane:guardedby mu=<lock> | atomic | rcu=<publisher> |
+// confined owner=<func> | immutable after=<init>), whole-program, with
+// caller-held lock obligations propagated through *Locked functions
+// and stale //insane:unguarded waivers reported as findings. See
+// README, "Static analysis".
 //
 // Usage:
 //

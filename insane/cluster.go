@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"github.com/insane-mw/insane/internal/core"
@@ -93,22 +94,30 @@ type ClusterOptions struct {
 
 // Cluster is a virtual edge deployment: a fabric plus one INSANE runtime
 // per node.
+//
+//insane:shared
 type Cluster struct {
-	net   *fabric.Network
-	nodes map[string]*Node
-	order []string
+	net   *fabric.Network  //insane:guardedby immutable after=NewCluster
+	nodes map[string]*Node //insane:guardedby immutable after=NewCluster
+	order []string         //insane:guardedby immutable after=NewCluster
 
-	metricsLn  net.Listener
-	metricsSrv *http.Server
+	metricsLn  net.Listener //insane:guardedby immutable after=serveMetrics
+	metricsSrv *http.Server //insane:guardedby immutable after=serveMetrics
 	// metricsDone is closed by the metrics serve goroutine on exit, so
 	// Close can join it instead of leaking it.
-	metricsDone chan struct{}
+	metricsDone chan struct{} //insane:guardedby immutable after=serveMetrics
+	// metricsClosed makes the endpoint shutdown exactly-once: the old
+	// check-then-nil in Close was a double-close/data race when two
+	// goroutines raced Close (Close is documented safe to repeat).
+	metricsClosed atomic.Bool //insane:guardedby atomic
 }
 
 // Node is one edge node running an INSANE runtime.
+//
+//insane:shared
 type Node struct {
-	name string
-	rt   *core.Runtime
+	name string        //insane:guardedby immutable after=NewCluster
+	rt   *core.Runtime //insane:guardedby immutable after=NewCluster
 }
 
 // NewCluster builds the fabric and starts a runtime on every node.
@@ -265,14 +274,14 @@ func (c *Cluster) Nodes() []*Node {
 	return out
 }
 
-// Close stops every runtime and shuts the metrics endpoint down.
+// Close stops every runtime and shuts the metrics endpoint down. Safe
+// to call repeatedly and from concurrent goroutines: the CAS elects one
+// closer for the metrics endpoint, and the fields stay set (immutable
+// after serveMetrics) rather than being nil-ed behind a racing reader.
 func (c *Cluster) Close() {
-	if c.metricsSrv != nil {
+	if c.metricsSrv != nil && c.metricsClosed.CompareAndSwap(false, true) {
 		_ = c.metricsSrv.Close()
 		<-c.metricsDone
-		c.metricsSrv = nil
-		c.metricsLn = nil
-		c.metricsDone = nil
 	}
 	for _, n := range c.nodes {
 		if n.rt != nil {

@@ -123,12 +123,14 @@ func (o Options) toQoS() qos.Options {
 
 // Session is an application's connection to the local INSANE runtime
 // (init_session / close_session).
+//
+//insane:shared
 type Session struct {
-	conn   *core.ClientConn
-	closed atomic.Bool
+	conn   *core.ClientConn //insane:guardedby immutable after=InitSession
+	closed atomic.Bool      //insane:guardedby atomic
 
 	mu    sync.Mutex
-	sinks []*Sink
+	sinks []*Sink //insane:guardedby mu=mu
 }
 
 // InitSession opens a session with the node's runtime. Options bind the
@@ -178,9 +180,11 @@ func (s *Session) CreateStream(opts Options) (*Stream, error) {
 
 // Stream is an open stream: a set of quality requirements shared by its
 // channels (Fig. 1).
+//
+//insane:shared
 type Stream struct {
-	sess *Session
-	h    *core.StreamHandle
+	sess *Session           //insane:guardedby immutable after=CreateStreamOpts
+	h    *core.StreamHandle //insane:guardedby immutable after=CreateStreamOpts
 }
 
 // Technology names the network technology the stream was mapped to.
@@ -246,8 +250,10 @@ var (
 )
 
 // Source is a data producer on one channel.
+//
+//insane:shared
 type Source struct {
-	h *core.SourceHandle
+	h *core.SourceHandle //insane:guardedby immutable after=CreateSource
 }
 
 // Channel returns the source's channel id.
@@ -366,10 +372,16 @@ func (m *Message) Stages() Stages {
 }
 
 // Sink is a data consumer on one channel.
+//
+//insane:shared
 type Sink struct {
-	h    *core.SinkHandle
-	stop chan struct{}
-	done chan struct{}
+	h *core.SinkHandle //insane:guardedby immutable after=CreateSink
+	// stop/done are nil for callback-free sinks and never reassigned
+	// after CreateSink; stopOnce makes closing stop exactly-once even
+	// when Session.Close and Sink.Close race (both call stopDispatch).
+	stop     chan struct{} //insane:guardedby immutable after=CreateSink
+	done     chan struct{} //insane:guardedby immutable after=CreateSink
+	stopOnce sync.Once
 }
 
 // Channel returns the sink's channel id.
@@ -471,17 +483,18 @@ func (k *Sink) Close() {
 	k.h.Close()
 }
 
-// stopDispatch terminates the callback goroutine, if any.
+// stopDispatch terminates the callback goroutine, if any. Safe for
+// concurrent callers: Session.Close and Sink.Close may race here, and
+// the old check-then-close (plus a k.stop = nil write) let two callers
+// both observe an open channel and double-close it, or let one read
+// stop while the other nil-ed it. sync.Once closes exactly once; both
+// callers then park on done until the dispatcher drains.
 func (k *Sink) stopDispatch() {
-	if k.stop != nil {
-		select {
-		case <-k.stop:
-		default:
-			close(k.stop)
-		}
-		<-k.done
-		k.stop = nil
+	if k.stop == nil {
+		return
 	}
+	k.stopOnce.Do(func() { close(k.stop) })
+	<-k.done
 }
 
 // dispatch is the callback pump: it waits on the sink's notification

@@ -1,0 +1,80 @@
+package insane_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/insane-mw/insane/insane"
+)
+
+// TestConcurrentSessionAndSinkClose races Session.Close against
+// Sink.Close on callback sinks. The old stopDispatch used a
+// check-then-close on the stop channel followed by a k.stop = nil
+// write, so two concurrent closers could both see the channel open and
+// double-close it (panic), or one could read stop while the other
+// nil-ed it (data race). The sync.Once rewrite must survive this loop
+// under -race with neither.
+func TestConcurrentSessionAndSinkClose(t *testing.T) {
+	c, err := insane.NewCluster(insane.ClusterOptions{
+		Nodes: []insane.NodeSpec{{Name: "edge-1", DPDK: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 50; i++ {
+		sess, err := c.Node("edge-1").InitSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sess.CreateStreamOpts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := st.CreateSink(1, func(m *insane.Message) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			k.Close()
+		}()
+		go func() {
+			defer wg.Done()
+			if err := sess.Close(); err != nil {
+				t.Errorf("session close: %v", err)
+			}
+		}()
+		wg.Wait()
+	}
+}
+
+// TestConcurrentClusterClose races Cluster.Close against itself with
+// the metrics endpoint up. The old shutdown nil-ed metricsSrv and
+// metricsDone after closing, so a second closer could double-Close the
+// server or receive on a nil channel; the atomic.Bool CAS elects one
+// closer and the fields stay immutable after serveMetrics.
+func TestConcurrentClusterClose(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		c, err := insane.NewCluster(insane.ClusterOptions{
+			Nodes:       []insane.NodeSpec{{Name: "edge-1", DPDK: true}},
+			MetricsAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.Close()
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -81,17 +81,19 @@ const rxRingDepth = 1024
 
 // ClientConn is one application session with the local runtime
 // (init_session in the paper's API, Fig. 2).
+//
+//insane:shared
 type ClientConn struct {
-	rt *Runtime
-	id mempool.Owner
+	rt *Runtime      //insane:guardedby immutable after=ConnectTenant
+	id mempool.Owner //insane:guardedby immutable after=ConnectTenant
 	// ten is the session's tenant binding, fixed at ConnectTenant (nil =
 	// the default tenant: no quotas, no per-tenant telemetry).
-	ten *tenant
+	ten *tenant //insane:guardedby immutable after=ConnectTenant
 
 	mu      sync.Mutex
-	lanes   map[model.Tech]*txLane
-	streams map[uint64]*StreamHandle
-	closed  bool
+	lanes   map[model.Tech]*txLane   //insane:guardedby mu=mu
+	streams map[uint64]*StreamHandle //insane:guardedby mu=mu
+	closed  bool                     //insane:guardedby mu=mu
 }
 
 // Tenant returns the session's tenant name ("" for the default tenant).
@@ -238,17 +240,19 @@ func (c *ClientConn) flush(timeout time.Duration) {
 }
 
 // StreamHandle is an open stream: a QoS contract mapped to a technology.
+//
+//insane:shared
 type StreamHandle struct {
-	conn     *ClientConn
-	id       uint64
-	opts     qos.Options
-	tech     model.Tech
-	fellBack bool
+	conn     *ClientConn //insane:guardedby immutable after=OpenStream
+	id       uint64      //insane:guardedby immutable after=OpenStream
+	opts     qos.Options //insane:guardedby immutable after=OpenStream
+	tech     model.Tech  //insane:guardedby immutable after=OpenStream
+	fellBack bool        //insane:guardedby immutable after=OpenStream
 
 	mu      sync.Mutex
-	sources []*SourceHandle
-	sinks   []*SinkHandle
-	closed  bool
+	sources []*SourceHandle //insane:guardedby mu=mu
+	sinks   []*SinkHandle   //insane:guardedby mu=mu
+	closed  bool            //insane:guardedby mu=mu
 }
 
 // Tech returns the technology the QoS mapper chose for this stream.
@@ -417,29 +421,31 @@ type Outcome struct {
 const outcomeWindow = 1024
 
 // SourceHandle is a data producer on one channel (create_source).
+//
+//insane:shared
 type SourceHandle struct {
-	stream  *StreamHandle
-	channel uint32
-	lane    *txLane
-	seq     atomic.Uint32
-	closed  atomic.Bool
+	stream  *StreamHandle //insane:guardedby immutable after=CreateSource
+	channel uint32        //insane:guardedby immutable after=CreateSource
+	lane    *txLane       //insane:guardedby immutable after=CreateSource
+	seq     atomic.Uint32 //insane:guardedby atomic
+	closed  atomic.Bool   //insane:guardedby atomic
 	// shard is the telemetry stripe Emit records into; assigned
 	// round-robin at creation so concurrent publishers spread out.
-	shard *telemetry.Shard
-	noTel bool
+	shard *telemetry.Shard //insane:guardedby immutable after=CreateSource
+	noTel bool             //insane:guardedby immutable after=CreateSource
 	// rtc opts Emit into the run-to-completion fast path (DESIGN.md §11).
-	rtc bool
+	rtc bool //insane:guardedby immutable after=CreateSource
 	// ten caches the session's tenant binding (nil = default tenant) so
 	// the Emit/GetBuffer quota checks skip a pointer chase.
-	ten *tenant
+	ten *tenant //insane:guardedby immutable after=CreateSource
 	// gate is the stream technology's 802.1Qbv shaper, cached only for
 	// RTC time-sensitive sources so the admission check is one immutable
 	// read, no scheduler lock.
-	gate *sched.TAS
+	gate *sched.TAS //insane:guardedby immutable after=CreateSource
 
 	mu       sync.Mutex
-	outcomes [outcomeWindow]Outcome
-	haveOut  [outcomeWindow]bool
+	outcomes [outcomeWindow]Outcome //insane:guardedby mu=mu
+	haveOut  [outcomeWindow]bool    //insane:guardedby mu=mu
 }
 
 // Channel returns the source's channel id.
@@ -610,18 +616,20 @@ type Delivery struct {
 }
 
 // SinkHandle is a data consumer on one channel (create_sink).
+//
+//insane:shared
 type SinkHandle struct {
-	stream  *StreamHandle
-	channel uint32
-	ring    *ringbuf.MPMC[rxToken]
-	notify  chan struct{}
-	closed  atomic.Bool
+	stream  *StreamHandle          //insane:guardedby immutable after=CreateSink
+	channel uint32                 //insane:guardedby immutable after=CreateSink
+	ring    *ringbuf.MPMC[rxToken] //insane:guardedby immutable after=CreateSink
+	notify  chan struct{}          //insane:guardedby immutable after=CreateSink
+	closed  atomic.Bool            //insane:guardedby atomic
 	// shard is the telemetry stripe Consume records into.
-	shard *telemetry.Shard
-	noTel bool
+	shard *telemetry.Shard //insane:guardedby immutable after=CreateSink
+	noTel bool             //insane:guardedby immutable after=CreateSink
 	// ten is the consuming session's tenant (nil = default): Consume
 	// mirrors its counters and latency histogram into the tenant domain.
-	ten *tenant
+	ten *tenant //insane:guardedby immutable after=CreateSink
 }
 
 // Channel returns the sink's channel id.

@@ -22,23 +22,26 @@ const (
 // Vyukov MPMC ring everywhere else (multi-source sessions, multi-poller
 // plugins). Election happens at source-creation time, so the Emit hot
 // path pays one atomic mode load, not a topology walk.
+//
+//insane:shared
 type txLane struct {
 	// mode is laneSPSC or laneMPMC. Stored under the owning ClientConn's
 	// mu; loaded lock-free by Emit. The release store in promoteLocked
 	// orders the mpmc pointer write before the mode flip.
-	mode atomic.Uint32
+	mode atomic.Uint32 //insane:guardedby atomic
 	// spsc is set iff the lane was born single-producer; it stays in
 	// place after a promotion so the poller can drain the remnant.
-	spsc *ringbuf.SPSC[txToken]
+	spsc *ringbuf.SPSC[txToken] //insane:guardedby immutable after=newTxLane
 	// mpmc is set at construction (multi-producer lanes) or at promotion.
 	// Written under the ClientConn's mu; read by producers only after an
-	// acquire load of mode observes laneMPMC.
-	mpmc *ringbuf.MPMC[txToken]
+	// acquire load of mode observes laneMPMC (RCU-style publication: the
+	// mode flip is the release store that makes the pointer visible).
+	mpmc *ringbuf.MPMC[txToken] //insane:guardedby rcu=promoteLocked
 	// producers counts the sources ever registered on the lane; guarded
 	// by the owning ClientConn's mu. It never decrements — a promoted
 	// lane stays MPMC even if sources close, keeping the state machine
 	// one-way.
-	producers int
+	producers int //insane:guardedby mu=ClientConn.mu
 }
 
 // newTxLane builds a lane. spscOK is the election predicate: the caller

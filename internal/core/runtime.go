@@ -100,111 +100,121 @@ type Stats struct {
 }
 
 // techState binds one technology's endpoint with its schedulers.
+//
+//insane:shared
 type techState struct {
-	tech  model.Tech
-	info  model.TechInfo
-	local netstack.Endpoint
+	tech  model.Tech        //insane:guardedby immutable after=NewRuntime
+	info  model.TechInfo    //insane:guardedby immutable after=NewRuntime
+	local netstack.Endpoint //insane:guardedby immutable after=NewRuntime
 
 	// mu serializes endpoint access: pollers own their techs, but
 	// cross-technology sends (peer lacks the stream's tech) come from
-	// other pollers, and PollersPerPlugin > 1 shares the endpoint.
+	// other pollers, and PollersPerPlugin > 1 shares the endpoint. The
+	// ep field itself is set once at construction; mu guards the
+	// endpoint object's state, not the pointer.
 	mu sync.Mutex
-	ep datapath.Endpoint
+	ep datapath.Endpoint //insane:guardedby immutable after=NewRuntime
 
 	// schedMu guards the schedulers when several pollers serve this
-	// plugin (§8's multi-threaded datapath).
+	// plugin (§8's multi-threaded datapath): the WDRR/TAS pointers are
+	// construction-time constants, their queue state is what the lock
+	// protects.
 	schedMu sync.Mutex
-	wdrr    *sched.WDRR
-	tas     *sched.TAS
+	wdrr    *sched.WDRR //insane:guardedby immutable after=NewRuntime
+	tas     *sched.TAS  //insane:guardedby immutable after=NewRuntime
 
 	// consumers is how many polling threads drain this technology's TX
 	// lanes, fixed at runtime construction. Exactly 1 is what makes a
 	// single-producer lane eligible for the SPSC ring.
-	consumers int
+	consumers int //insane:guardedby immutable after=NewRuntime
 }
 
 // Runtime is the INSANE runtime instance of one host.
+//
+//insane:shared
 type Runtime struct {
-	cfg   Config
-	name  string
-	clock timebase.Clock
-	tb    model.Testbed
-	mm    *mempool.Manager
-	rc    model.RuntimeCosts
-	subs  *subTable
-	techs map[model.Tech]*techState
-	burst int
+	cfg   Config                    //insane:guardedby immutable after=NewRuntime
+	name  string                    //insane:guardedby immutable after=NewRuntime
+	clock timebase.Clock            //insane:guardedby immutable after=NewRuntime
+	tb    model.Testbed             //insane:guardedby immutable after=NewRuntime
+	mm    *mempool.Manager          //insane:guardedby immutable after=NewRuntime
+	rc    model.RuntimeCosts        //insane:guardedby immutable after=NewRuntime
+	subs  *subTable                 //insane:guardedby immutable after=NewRuntime
+	techs map[model.Tech]*techState //insane:guardedby immutable after=NewRuntime
+	burst int                       //insane:guardedby immutable after=NewRuntime
 
 	// tenants is the immutable tenant registry (index 0 = the implicit
 	// default tenant); nil in single-tenant mode.
-	tenants      []*tenant
-	tenantByName map[string]*tenant
+	tenants      []*tenant          //insane:guardedby immutable after=NewRuntime
+	tenantByName map[string]*tenant //insane:guardedby immutable after=NewRuntime
 
 	mu     sync.RWMutex
-	conns  map[mempool.Owner]*ClientConn
-	sinks  map[uint32][]*SinkHandle
-	warned []string
+	conns  map[mempool.Owner]*ClientConn //insane:guardedby mu=mu
+	sinks  map[uint32][]*SinkHandle      //insane:guardedby mu=mu
+	warned []string                      //insane:guardedby mu=mu
 	// connList is a cached snapshot of conns for the pollers' hot loop;
 	// rebuilt whenever a session connects or disconnects.
-	connList []*ClientConn
+	connList []*ClientConn //insane:guardedby mu=mu
 
 	// topoEpoch versions the (conn, tech)→TX-ring topology. It is bumped
 	// after every mutation (session connect/disconnect, lazy ring
 	// creation) so pollers rebuild their txSnap caches only when the
 	// topology actually moved, instead of locking c.mu per conn per pass.
-	topoEpoch atomic.Uint64
+	topoEpoch atomic.Uint64 //insane:guardedby atomic
 
 	// sinkSnap is the immutable channel→sinks dispatch table the pollers
 	// read (RCU-style: registerSink/unregisterSink publish a fresh copy,
 	// readers never lock or copy). r.sinks under r.mu stays the mutable
 	// source of truth.
-	sinkSnap atomic.Pointer[map[uint32][]*SinkHandle]
+	sinkSnap atomic.Pointer[map[uint32][]*SinkHandle] //insane:guardedby rcu=publishSinksLocked
 
 	// envPool backs the pollers' packet-envelope free lists.
-	envPool *mempool.CachePool[*pktEnv]
+	envPool *mempool.CachePool[*pktEnv] //insane:guardedby immutable after=NewRuntime
 
-	nextConnID   atomic.Int32
-	nextStreamID atomic.Uint64
+	nextConnID   atomic.Int32  //insane:guardedby atomic
+	nextStreamID atomic.Uint64 //insane:guardedby atomic
 
 	// tel is the runtime's telemetry domain: one shard per polling
 	// thread plus a client-side stripe (DESIGN.md §8). Every activity
 	// counter the runtime used to keep ad hoc lives here now, so Stats,
 	// Inspect and the Prometheus exporter read one substrate.
-	tel *telemetry.Telemetry
+	tel *telemetry.Telemetry //insane:guardedby immutable after=NewRuntime
 
-	pollers []*poller
-	stopped atomic.Bool
+	pollers []*poller   //insane:guardedby immutable after=NewRuntime
+	stopped atomic.Bool //insane:guardedby atomic
 	wg      sync.WaitGroup
 }
 
 // poller is one polling thread serving one or more datapaths (§5.3).
+//
+//insane:shared
 type poller struct {
-	states []*techState
-	kick   chan struct{}
-	stop   chan struct{}
+	states []*techState  //insane:guardedby immutable after=NewRuntime
+	kick   chan struct{} //insane:guardedby immutable after=NewRuntime
+	stop   chan struct{} //insane:guardedby immutable after=NewRuntime
 	// batch is the poller's scratch dequeue buffer (no per-iteration
 	// allocation on the hot path).
-	batch []*datapath.Packet
+	batch []*datapath.Packet //insane:guardedby confined owner=pollLoop
 	// toks is the scratch buffer for batched TX-ring pops.
-	toks []txToken
+	toks []txToken //insane:guardedby confined owner=pollLoop
 	// snaps caches the TX-ring topology per served techState (parallel
 	// to states), rebuilt only when the runtime's topoEpoch moves.
-	snaps []txSnap
+	snaps []txSnap //insane:guardedby confined owner=pollLoop
 	// envs is this poller's private packet-envelope free list (DPDK's
 	// per-lcore mempool cache); spills and refills go through the
 	// runtime-wide shared ring, so envelopes may migrate between pollers.
-	envs *mempool.Cache[*pktEnv]
+	envs *mempool.Cache[*pktEnv] //insane:guardedby immutable after=NewRuntime
 	// sendPkt/sendVec are the scratch destination-specific packet copy
 	// and send vector for sendToPeer (plugin Sends are synchronous).
-	sendPkt datapath.Packet
-	sendVec [1]*datapath.Packet
+	sendPkt datapath.Packet     //insane:guardedby confined owner=pollLoop
+	sendVec [1]*datapath.Packet //insane:guardedby confined owner=pollLoop
 	// shard is this poller's private telemetry slab; every hot-path
 	// counter bump and histogram observation lands here, so steady-state
 	// recording never bounces a cache line between pollers.
-	shard *telemetry.Shard
+	shard *telemetry.Shard //insane:guardedby immutable after=NewRuntime
 	// loops counts polling iterations; session close uses it to wait for
 	// full passes so in-flight tokens drain before slots are reclaimed.
-	loops atomic.Uint64
+	loops atomic.Uint64 //insane:guardedby atomic
 }
 
 // NewRuntime opens the endpoints for every available technology and

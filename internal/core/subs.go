@@ -28,16 +28,18 @@ type remoteSub struct {
 // subTable tracks which peers subscribed to which channels, and resolves
 // sender-side destinations. Safe for concurrent use: the control plane
 // updates it from polling threads while TX paths read it.
+//
+//insane:shared
 type subTable struct {
 	mu sync.RWMutex
 	// byChannel maps channel id → peer name → subscription.
-	byChannel map[uint32]map[string]remoteSub
+	byChannel map[uint32]map[string]remoteSub //insane:guardedby mu=mu
 	// byIP resolves a control message's source IP to its peer.
-	byIP map[netstack.IPv4]*Peer
+	byIP map[netstack.IPv4]*Peer //insane:guardedby mu=mu
 	// snap is the immutable channel→subscriptions view the TX hot path
 	// reads; subscribe/unsubscribe publish a fresh copy so readers never
 	// lock, copy, or walk the nested maps per packet.
-	snap atomic.Pointer[map[uint32][]remoteSub]
+	snap atomic.Pointer[map[uint32][]remoteSub] //insane:guardedby rcu=publishLocked
 }
 
 // newSubTable indexes the static peer set.

@@ -54,21 +54,24 @@ type TenantSpec struct {
 
 // tenant is the runtime-internal record of one declared tenant. All
 // fields except inflight are immutable after construction.
+//
+//insane:shared
 type tenant struct {
-	name  string
-	index int // position in Runtime.tenants; packets carry it as Packet.Tenant
-	spec  TenantSpec
+	name  string //insane:guardedby immutable after=buildTenants
+	index int    //insane:guardedby immutable after=buildTenants
+	// spec is the declared tenant configuration.
+	spec TenantSpec //insane:guardedby immutable after=buildTenants
 
 	// budget partitions the mempool (nil only for the default tenant;
 	// declared tenants always carry one so occupancy gauges work).
-	budget *mempool.Budget
+	budget *mempool.Budget //insane:guardedby immutable after=buildTenants
 	// inflight counts emitted-but-not-dispatched TX tokens against
 	// spec.TxTokens.
-	inflight atomic.Int64
+	inflight atomic.Int64 //insane:guardedby atomic
 	// tel/shard are the tenant's private telemetry domain: one shard is
 	// enough because only client goroutines of this tenant write to it.
-	tel   *telemetry.Telemetry
-	shard *telemetry.Shard
+	tel   *telemetry.Telemetry //insane:guardedby immutable after=buildTenants
+	shard *telemetry.Shard     //insane:guardedby immutable after=buildTenants
 }
 
 // chargeTX reserves one in-flight TX token, reporting false at the cap.

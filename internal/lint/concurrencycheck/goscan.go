@@ -94,6 +94,17 @@ func (s *goScanner) call(call *ast.CallExpr) {
 		return
 	}
 
+	// A closure handed to (*sync.Once).Do runs synchronously in the
+	// caller — or an earlier call already ran it, in which case the
+	// signal was already sent — so its signals count as the caller's
+	// (the exactly-once channel-close idiom in shutdown paths).
+	if callee.FullName() == "(*sync.Once).Do" && len(call.Args) == 1 {
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+			s.walk(lit.Body)
+		}
+		return
+	}
+
 	// Storing an atomic field is a stop-flag signal.
 	if callee.Name() == "Store" && isAtomicType(recvTypeOf(callee)) {
 		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {

@@ -1,0 +1,156 @@
+// Package a exercises every guardcheck regime in one package: held,
+// missing and read-mode locks, TryLock branches, deferred unlocks,
+// *Locked need propagation, atomics, RCU publication, goroutine
+// confinement, post-init immutability, and a live waiver.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+//insane:shared
+type S struct {
+	mu sync.RWMutex
+
+	count int    //insane:guardedby mu=mu
+	hits  int64  //insane:guardedby atomic
+	snap  []int  //insane:guardedby rcu=publish
+	buf   []byte //insane:guardedby confined owner=loop
+	name  string //insane:guardedby immutable after=NewS
+}
+
+// NewS builds a fresh S; writes to every field are legal on the fresh
+// local, including the confined and immutable ones.
+func NewS(name string) *S {
+	s := &S{name: name}
+	s.count = 1
+	s.snap = []int{}
+	go s.loop()
+	return s
+}
+
+// loop is the confined owner of buf.
+func (s *S) loop() {
+	s.buf = append(s.buf, 0)
+	s.fill()
+}
+
+// fill is reachable from loop through a plain call: still the owner
+// goroutine.
+func (s *S) fill() {
+	s.buf = append(s.buf, 1)
+}
+
+// --- mutex regime ---
+
+func (s *S) IncGood() {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+}
+
+func (s *S) GetGood() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+func (s *S) IncBad() {
+	s.count++ // want `write to a\.S\.count \(//insane:guardedby mu=mu\) without holding s\.mu for writing`
+}
+
+// IncUnderReadLock holds only the read lock for a write. (Its name
+// must not end in "Locked", or the unmet write need would defer to
+// callers instead of reporting here.)
+func (s *S) IncUnderReadLock() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.count++ // want `write to a\.S\.count \(//insane:guardedby mu=mu\) without holding s\.mu for writing`
+}
+
+// IncTry only touches the field in the branch that observed TryLock
+// succeed.
+func (s *S) IncTry() {
+	if s.mu.TryLock() {
+		s.count++
+		s.mu.Unlock()
+	}
+}
+
+func (s *S) IncAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.count++ // want `write to a\.S\.count \(//insane:guardedby mu=mu\) without holding s\.mu for writing`
+}
+
+// countLocked defers the lock burden to its callers (the *Locked
+// convention); the unsatisfied access becomes a Need, not a finding
+// here.
+func (s *S) countLocked() int { return s.count }
+
+func (s *S) ViaLockedGood() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.countLocked()
+}
+
+func (s *S) ViaLockedBad() int {
+	return s.countLocked() // want `call to .*countLocked without holding s\.mu: a\.S\.count \(//insane:guardedby mu=mu\) is accessed via countLocked \(a\.go:\d+\) <- ViaLockedBad \(a\.go:\d+\)`
+}
+
+// --- atomic regime ---
+
+func (s *S) HitGood()        { atomic.AddInt64(&s.hits, 1) }
+func (s *S) HitsGood() int64 { return atomic.LoadInt64(&s.hits) }
+
+func (s *S) HitBad() {
+	s.hits++ // want `plain write to a\.S\.hits \(//insane:guardedby atomic\): use sync/atomic operations`
+}
+
+func (s *S) HitsBad() int64 {
+	return s.hits // want `plain read of a\.S\.hits \(//insane:guardedby atomic\): use sync/atomic operations`
+}
+
+// --- rcu regime ---
+
+// publish is the sole publisher of snap.
+func (s *S) publish(v []int) {
+	s.snap = v
+}
+
+// Snap reads without coordination: legal under rcu.
+func (s *S) Snap() []int { return s.snap }
+
+func (s *S) Reset() {
+	s.snap = nil // want `write to a\.S\.snap \(//insane:guardedby rcu=publish\) outside its publisher: snapshots are rebuilt and published only by publish`
+}
+
+// --- confined regime ---
+
+func (s *S) Touch() {
+	s.buf = nil // want `write to a\.S\.buf \(//insane:guardedby confined owner=loop\) in Touch, which is not reachable from its owner loop`
+}
+
+func (s *S) Spawn() {
+	go func() {
+		s.buf = nil // want `write to a\.S\.buf \(//insane:guardedby confined owner=loop\) inside a spawned goroutine: the field is confined to the goroutine running loop`
+	}()
+}
+
+// --- immutable regime ---
+
+func (s *S) Rename(n string) {
+	s.name = n // want `write to a\.S\.name \(//insane:guardedby immutable after=NewS\) after init: writes are legal only inside NewS`
+}
+
+func (s *S) Name() string { return s.name }
+
+// --- waiver ---
+
+// seedSnap violates the rcu regime on purpose; the waiver suppresses
+// the finding (and, being used, is not reported stale).
+func (s *S) seedSnap() {
+	//insane:unguarded test fixture: pre-publication seeding before any reader exists
+	s.snap = []int{1}
+}

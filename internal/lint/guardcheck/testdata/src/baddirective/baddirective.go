@@ -1,0 +1,49 @@
+// Package baddirective holds every malformed-annotation shape; the
+// diagnostics land on the directive comments themselves, so the test
+// drives the analyzer by hand (a trailing `// want` comment would be
+// swallowed into the directive text).
+package baddirective
+
+import "sync"
+
+//insane:shared
+type B struct {
+	sync.WaitGroup
+
+	mu sync.Mutex //insane:guardedby mu=mu
+
+	a int //insane:guardedby
+	b int //insane:guardedby mu=
+	c int //insane:guardedby banana
+	d int //insane:guardedby mu=nosuch
+	e int
+	f int //insane:guardedby confined owner=nobody
+	g int //insane:guardedby immutable after=ghost
+	h int //insane:guardedby rcu=phantom
+	i int //insane:guardedby mu=a
+	j int //insane:guardedby confined owner=helper
+	k int //insane:guardedby atomic extra
+	l int //insane:guardedby confined
+}
+
+//insane:shared
+type NotAStruct int
+
+type Plain struct {
+	x int //insane:guardedby atomic
+}
+
+// helper exists but is never go-spawned, so it cannot own a confined
+// field.
+func helper() {}
+
+// stale carries a waiver that suppresses nothing.
+func stale() int {
+	//insane:unguarded justified nothing
+	return 1
+}
+
+// noReason carries a waiver without a reason.
+func noReason() {
+	//insane:unguarded
+}

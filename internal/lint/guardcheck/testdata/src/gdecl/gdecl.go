@@ -1,0 +1,21 @@
+// Package gdecl declares the shared struct consumed by the guse
+// fixture: the per-field Regime facts and the *Locked method's Needs
+// must travel through the fact store so a cross-package caller is
+// verified exactly like a local one.
+package gdecl
+
+import "sync"
+
+//insane:shared
+type Box struct {
+	Mu sync.Mutex
+
+	N   int    //insane:guardedby mu=Mu
+	Tag string //insane:guardedby immutable after=NewBox
+}
+
+// NewBox is the one place Tag may be written.
+func NewBox(tag string) *Box { return &Box{Tag: tag} }
+
+// BumpLocked requires Mu; callers in any package inherit the need.
+func (b *Box) BumpLocked() { b.N++ }

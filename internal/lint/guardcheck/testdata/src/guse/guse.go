@@ -1,0 +1,36 @@
+// Package guse accesses gdecl's guarded fields across the package
+// boundary: every finding here is proven from imported facts, with no
+// local annotation.
+package guse
+
+import "gdecl"
+
+// Poke writes the mu-guarded field without the lock.
+func Poke(b *gdecl.Box) {
+	b.N++ // want `write to gdecl\.Box\.N \(//insane:guardedby mu=Mu\) without holding b\.Mu for writing`
+}
+
+// PokeGood is the clean shape.
+func PokeGood(b *gdecl.Box) {
+	b.Mu.Lock()
+	b.N++
+	b.Mu.Unlock()
+}
+
+// Bump calls the *Locked method without the lock; the need crossed the
+// package boundary as a Needs fact and surfaces here with the chain.
+func Bump(b *gdecl.Box) {
+	b.BumpLocked() // want `call to .*BumpLocked without holding b\.Mu: gdecl\.Box\.N \(//insane:guardedby mu=Mu\) is accessed via BumpLocked \(gdecl\.go:\d+\) <- Bump \(guse\.go:\d+\)`
+}
+
+// BumpGood holds the lock across the *Locked call.
+func BumpGood(b *gdecl.Box) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.BumpLocked()
+}
+
+// Retag writes the immutable field after init, cross-package.
+func Retag(b *gdecl.Box) {
+	b.Tag = "x" // want `write to gdecl\.Box\.Tag \(//insane:guardedby immutable after=NewBox\) after init: writes are legal only inside NewBox`
+}

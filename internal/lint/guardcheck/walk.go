@@ -1,0 +1,688 @@
+package guardcheck
+
+// The walker is guardcheck's flow-sensitive half: it traverses one
+// function body tracking the set of locks held at every program point
+// (Lock/RLock, Unlock/RUnlock, deferred unlocks held to function end,
+// TryLock conditioned on its branch), which locals are provably fresh
+// (initialized from a composite literal or new() and not yet shared),
+// and whether execution is inside a spawned function literal. Every
+// touch of a guarded field and every static call is recorded with that
+// context for the resolution phases in guardcheck.go.
+//
+// Accepted approximations, all on the conservative side for the access
+// proof (a lock is dropped from the set rather than invented): branch
+// merges intersect the held sets and demote to read mode when any arm
+// held only the read lock; a loop body starts from the loop-entry set;
+// a function literal that is not go-spawned inherits the current set
+// (closures stored and invoked later are not modeled); deferred calls
+// run with the set live at the defer statement.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/insane-mw/insane/internal/lint/callutil"
+	"github.com/insane-mw/insane/internal/lint/guardfacts"
+)
+
+type walker struct {
+	st      *state
+	fn      *fnInfo
+	fresh   map[types.Object]bool
+	goDepth int
+}
+
+func (w *walker) info() *types.Info { return w.st.pass.TypesInfo }
+
+// stmts walks a statement list, returning true when the tail is
+// unreachable (every path returned, panicked or branched away).
+func (w *walker) stmts(list []ast.Stmt, held lockSet) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) stmt(s ast.Stmt, held lockSet) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+	case *ast.ExprStmt:
+		w.expr(s.X, akRead, held)
+		if call, ok := s.X.(*ast.CallExpr); ok && callutil.NoReturn(w.info(), call) {
+			return true
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, akRead, held)
+		w.expr(s.Value, akRead, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, akWrite, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(r, akRead, held)
+		}
+		if s.Tok == token.DEFINE {
+			w.markFresh(s.Lhs, s.Rhs)
+			break // := left-hand sides are new locals, never field accesses
+		}
+		for _, l := range s.Lhs {
+			w.expr(l, akWrite, held)
+		}
+	case *ast.DeclStmt:
+		w.declStmt(s, held)
+	case *ast.GoStmt:
+		w.goStmt(s, held)
+	case *ast.DeferStmt:
+		w.deferStmt(s, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, akRead, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok != token.FALLTHROUGH
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		return w.ifStmt(s, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, akRead, held)
+		}
+		body := held.clone()
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		// A for{} with no way out never reaches the code after it.
+		return s.Cond == nil && !hasBreak(s.Body)
+	case *ast.RangeStmt:
+		// Index-only range over an array reads no memory at all — len is
+		// a compile-time constant — so a bare selector there is not an
+		// access (the telemetry merge loops range atomic arrays this way).
+		if !(s.Value == nil && w.lenOnlyRange(s.X)) {
+			w.expr(s.X, akRead, held)
+		}
+		if s.Tok == token.ASSIGN {
+			if s.Key != nil {
+				w.expr(s.Key, akWrite, held)
+			}
+			if s.Value != nil {
+				w.expr(s.Value, akWrite, held)
+			}
+		}
+		body := held.clone()
+		w.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		return w.switchStmt(s.Init, s.Tag, nil, s.Body, held)
+	case *ast.TypeSwitchStmt:
+		return w.switchStmt(s.Init, nil, s.Assign, s.Body, held)
+	case *ast.SelectStmt:
+		var outs []lockSet
+		for _, cc := range s.Body.List {
+			c, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			arm := held.clone()
+			if c.Comm != nil {
+				w.stmt(c.Comm, arm)
+			}
+			if !w.stmts(c.Body, arm) {
+				outs = append(outs, arm)
+			}
+		}
+		if len(outs) == 0 {
+			return true
+		}
+		held.replace(intersect(outs))
+	}
+	return false
+}
+
+func (w *walker) ifStmt(s *ast.IfStmt, held lockSet) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, held)
+	}
+	thenHeld := held.clone()
+	elseHeld := held.clone()
+	w.cond(s.Cond, held, thenHeld, elseHeld)
+	bterm := w.stmts(s.Body.List, thenHeld)
+	eterm := false
+	if s.Else != nil {
+		eterm = w.stmt(s.Else, elseHeld)
+	}
+	var outs []lockSet
+	if !bterm {
+		outs = append(outs, thenHeld)
+	}
+	if s.Else == nil || !eterm {
+		outs = append(outs, elseHeld)
+	}
+	if len(outs) == 0 {
+		return true
+	}
+	held.replace(intersect(outs))
+	return false
+}
+
+// cond walks a branch condition, threading TryLock/TryRLock results
+// into the arm that observes them true: `if mu.TryLock() { ... }` holds
+// the lock in the then-arm, `if !mu.TryLock() { return }` holds it in
+// the code after. Inside && / || only the arm the operator makes
+// definite receives the lock.
+func (w *walker) cond(e ast.Expr, held, thenHeld, elseHeld lockSet) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			w.cond(x.X, held, elseHeld, thenHeld)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			// then-arm means both operands were true.
+			scratch := held.clone()
+			w.cond(x.X, held, thenHeld, scratch)
+			w.cond(x.Y, held, thenHeld, scratch)
+			return
+		case token.LOR:
+			// else-arm means both operands were false.
+			scratch := held.clone()
+			w.cond(x.X, held, scratch, elseHeld)
+			w.cond(x.Y, held, scratch, elseHeld)
+			return
+		}
+	case *ast.CallExpr:
+		if op, lk, base, ok := w.mutexOp(x); ok {
+			switch op {
+			case "TryLock":
+				thenHeld.add(heldLock{lockKey: lk, base: base, write: true})
+			case "TryRLock":
+				thenHeld.add(heldLock{lockKey: lk, base: base, write: false})
+			}
+			return
+		}
+	}
+	w.expr(e, akRead, held)
+}
+
+func (w *walker) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, held lockSet) bool {
+	if init != nil {
+		w.stmt(init, held)
+	}
+	if tag != nil {
+		w.expr(tag, akRead, held)
+	}
+	if assign != nil {
+		w.stmt(assign, held)
+	}
+	var outs []lockSet
+	hasDefault := false
+	for _, cc := range body.List {
+		c, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if c.List == nil {
+			hasDefault = true
+		}
+		for _, e := range c.List {
+			w.expr(e, akRead, held)
+		}
+		arm := held.clone()
+		if !w.stmts(c.Body, arm) {
+			outs = append(outs, arm)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, held.clone())
+	}
+	if len(outs) == 0 {
+		return true
+	}
+	held.replace(intersect(outs))
+	return false
+}
+
+func (w *walker) declStmt(s *ast.DeclStmt, held lockSet) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			w.expr(v, akRead, held)
+		}
+		for i, name := range vs.Names {
+			// `var x T` (a fresh zero local) or `var x = &T{}`.
+			if len(vs.Values) == 0 || (i < len(vs.Values) && freshInit(vs.Values[i])) {
+				if obj := w.info().Defs[name]; obj != nil {
+					w.fresh[obj] = true
+				}
+			}
+		}
+	}
+}
+
+func (w *walker) goStmt(s *ast.GoStmt, held lockSet) {
+	for _, a := range s.Call.Args {
+		w.expr(a, akRead, held)
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		w.goDepth++
+		w.stmts(lit.Body.List, lockSet{})
+		w.goDepth--
+		return
+	}
+	if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+		w.expr(sel.X, akRead, held)
+	}
+	if callee := callutil.StaticCallee(w.info(), s.Call); callee != nil && callee.Pkg() != nil {
+		recvCanon, recvFresh := w.callReceiver(s.Call)
+		w.st.calls = append(w.st.calls, callRec{
+			fn: w.fn, callee: callee, pos: s.Call.Pos(),
+			held: lockSet{}, recvCanon: recvCanon, recvFresh: recvFresh, isGo: true,
+		})
+	}
+}
+
+func (w *walker) deferStmt(s *ast.DeferStmt, held lockSet) {
+	if op, _, _, ok := w.mutexOp(s.Call); ok {
+		// defer mu.Unlock(): the lock stays held to function end; other
+		// deferred lock ops have no modeled effect.
+		_ = op
+		return
+	}
+	w.expr(s.Call, akRead, held)
+}
+
+// expr walks an expression, recording guarded-field touches with the
+// access kind the surrounding syntax implies.
+func (w *walker) expr(e ast.Expr, kind accessKind, held lockSet) {
+	switch e := e.(type) {
+	case nil, *ast.Ident, *ast.BasicLit,
+		*ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.StructType,
+		*ast.InterfaceType, *ast.FuncType, *ast.Ellipsis:
+	case *ast.ParenExpr:
+		w.expr(e.X, kind, held)
+	case *ast.SelectorExpr:
+		w.recordSel(e, kind, "", held)
+		w.expr(e.X, w.baseKind(kind, e.X), held)
+	case *ast.CallExpr:
+		w.call(e, held)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			w.expr(e.X, akAddr, held)
+			return
+		}
+		w.expr(e.X, akRead, held)
+	case *ast.StarExpr:
+		// Writing through *p mutates the pointee, not the pointer-typed
+		// field, which is only read here.
+		w.expr(e.X, akRead, held)
+	case *ast.IndexExpr:
+		// &s[i] on a slice reads the header and aliases element memory;
+		// the field itself cannot be written through the result, and the
+		// element's own type carries its own regimes. Arrays keep the
+		// address kind: their elements ARE the field's memory.
+		if (kind == akAddr || kind == akAddrCall) && isSliceExpr(w.st.pass.TypesInfo, e.X) {
+			kind = akRead
+		}
+		w.expr(e.X, kind, held)
+		w.expr(e.Index, akRead, held)
+	case *ast.IndexListExpr:
+		w.expr(e.X, akRead, held)
+		for _, i := range e.Indices {
+			w.expr(i, akRead, held)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, akRead, held)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				w.expr(b, akRead, held)
+			}
+		}
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, akRead, held)
+	case *ast.BinaryExpr:
+		w.expr(e.X, akRead, held)
+		w.expr(e.Y, akRead, held)
+	case *ast.CompositeLit:
+		structLit := false
+		if t := w.info().TypeOf(e); t != nil {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			_, structLit = t.Underlying().(*types.Struct)
+		}
+		for _, elt := range e.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				w.expr(elt, akRead, held)
+				continue
+			}
+			if _, isIdent := kv.Key.(*ast.Ident); !isIdent || !structLit {
+				w.expr(kv.Key, akRead, held)
+			}
+			w.expr(kv.Value, akRead, held)
+		}
+	case *ast.FuncLit:
+		w.stmts(e.Body.List, held.clone())
+	}
+}
+
+// call handles a call expression: mutex operations mutate the held set,
+// builtin delete writes its map, &arg is an atomic-compatible address
+// hand-off, method receivers record akMethod accesses, and the static
+// callee is recorded for need resolution.
+func (w *walker) call(e *ast.CallExpr, held lockSet) {
+	if op, lk, base, ok := w.mutexOp(e); ok {
+		switch op {
+		case "Lock":
+			held.add(heldLock{lockKey: lk, base: base, write: true})
+		case "RLock":
+			held.add(heldLock{lockKey: lk, base: base, write: false})
+		case "Unlock", "RUnlock":
+			held.remove(lk, base)
+			// TryLock outside an if-condition has no modeled effect.
+		}
+		return
+	}
+	if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+		if b, ok := w.info().Uses[id].(*types.Builtin); ok {
+			for i, a := range e.Args {
+				if b.Name() == "delete" && i == 0 {
+					w.expr(a, akWrite, held)
+					continue
+				}
+				w.expr(a, akRead, held)
+			}
+			return
+		}
+	}
+	switch fun := ast.Unparen(e.Fun).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := w.info().Selections[fun]; ok && s.Kind() == types.MethodVal {
+			w.methodRecv(fun.X, fun.Sel.Name, held)
+		} else {
+			w.expr(fun.X, akRead, held)
+		}
+	case *ast.FuncLit:
+		// Immediately invoked literal: runs here, under the current set.
+		w.stmts(fun.Body.List, held.clone())
+	default:
+		w.expr(e.Fun, akRead, held)
+	}
+	for _, a := range e.Args {
+		if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			w.expr(u.X, akAddrCall, held)
+			continue
+		}
+		w.expr(a, akRead, held)
+	}
+	if callee := callutil.StaticCallee(w.info(), e); callee != nil && callee.Pkg() != nil {
+		recvCanon, recvFresh := w.callReceiver(e)
+		w.st.calls = append(w.st.calls, callRec{
+			fn: w.fn, callee: callee, pos: e.Pos(),
+			held: held.clone(), recvCanon: recvCanon, recvFresh: recvFresh,
+		})
+	}
+}
+
+// methodRecv records the receiver of a method call: a guarded field used
+// as receiver (s.closed.Load(), sh.counters[c].Add(1)) is an akMethod
+// access, the legal shape for the atomic regime.
+func (w *walker) methodRecv(x ast.Expr, method string, held lockSet) {
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		w.recordSel(x, akMethod, method, held)
+		w.expr(x.X, akRead, held)
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+			w.recordSel(sel, akMethod, method, held)
+			w.expr(sel.X, akRead, held)
+			w.expr(x.Index, akRead, held)
+			return
+		}
+		w.expr(x, akRead, held)
+	default:
+		w.expr(x, akRead, held)
+	}
+}
+
+func (w *walker) callReceiver(e *ast.CallExpr) (canon string, fresh bool) {
+	sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := w.info().Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	return types.ExprString(ast.Unparen(sel.X)), w.isFresh(sel.X)
+}
+
+// recordSel records one touch of a guarded field.
+func (w *walker) recordSel(sel *ast.SelectorExpr, kind accessKind, method string, held lockSet) {
+	obj, _ := w.info().Uses[sel.Sel].(*types.Var)
+	if obj == nil || !obj.IsField() {
+		return
+	}
+	fact, ok := guardfacts.Lookup(w.st.pass, obj)
+	if !ok {
+		return
+	}
+	w.st.accesses = append(w.st.accesses, accessRec{
+		fn: w.fn, field: obj, fact: fact, kind: kind, method: method,
+		pos: sel.Sel.Pos(), held: held.clone(),
+		base:  types.ExprString(ast.Unparen(sel.X)),
+		fresh: w.isFresh(sel.X), inGo: w.goDepth > 0,
+	})
+}
+
+// baseKind propagates a write or address-taking through the base of a
+// selector: writing a.b.c also writes b when b is a value struct, but
+// only reads it when the chain crosses a pointer.
+func (w *walker) baseKind(kind accessKind, base ast.Expr) accessKind {
+	if kind == akRead || kind == akMethod {
+		return akRead
+	}
+	if t := w.info().TypeOf(base); t != nil {
+		if _, ok := t.Underlying().(*types.Pointer); ok {
+			return akRead
+		}
+	}
+	return kind
+}
+
+// mutexOp recognizes a sync.Mutex/RWMutex method call, returning the
+// operation name and the lock's identity key plus canonical base.
+func (w *walker) mutexOp(call *ast.CallExpr) (op, lockKey, base string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	tv, hasType := w.info().Types[sel.X]
+	if !hasType || !isMutexType(tv.Type) {
+		return "", "", "", false
+	}
+	lockKey, base = w.lockIdent(sel.X)
+	if lockKey == "" {
+		return "", "", "", false
+	}
+	return sel.Sel.Name, lockKey, base, true
+}
+
+// lockIdent names a lock operand: a struct field lock keys as
+// "pkgpath.Type.field" with the receiver expression as base, a plain
+// variable (package-level or local mutex) keys by its object.
+func (w *walker) lockIdent(e ast.Expr) (lockKey, base string) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		s, ok := w.info().Selections[x]
+		if !ok || s.Kind() != types.FieldVal {
+			return "", ""
+		}
+		t := s.Recv()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed || named.Obj().Pkg() == nil {
+			return "", ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name,
+			types.ExprString(ast.Unparen(x.X))
+	case *ast.Ident:
+		obj := w.info().Uses[x]
+		if obj == nil {
+			return "", ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + ".var." + obj.Name(), ""
+		}
+		return "local." + obj.Name(), ""
+	}
+	return "", ""
+}
+
+// markFresh records locals born from a composite literal or new():
+// accesses through them are exempt from every regime until the object
+// can have been shared, which is what lets constructors initialize
+// without locks.
+func (w *walker) markFresh(lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || !freshInit(rhs[i]) {
+			continue
+		}
+		if obj := w.info().Defs[id]; obj != nil {
+			w.fresh[obj] = true
+		}
+	}
+}
+
+func (w *walker) isFresh(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := w.info().Uses[id]
+	return obj != nil && w.fresh[obj]
+}
+
+// freshInit reports an initializer producing a provably unshared
+// object: &T{...}, T{...} or new(T).
+func freshInit(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// hasBreak reports a break belonging to this loop (not to a nested
+// loop, switch or select, where break targets the inner statement).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK {
+				found = true
+				return false
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	// A labeled break inside a nested statement can still target this
+	// loop; treat any labeled break as an exit.
+	if !found {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if s, ok := n.(*ast.BranchStmt); ok && s.Tok == token.BREAK && s.Label != nil {
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// lenOnlyRange reports whether ranging x with no value variable touches
+// no memory: true when x is a plain ident/selector chain of array type
+// (possibly behind one pointer), where len is a compile-time constant.
+func (w *walker) lenOnlyRange(x ast.Expr) bool {
+	for e := ast.Unparen(x); ; {
+		switch v := e.(type) {
+		case *ast.Ident:
+		case *ast.SelectorExpr:
+			e = ast.Unparen(v.X)
+			continue
+		default:
+			return false
+		}
+		break
+	}
+	t := w.st.pass.TypesInfo.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, isArr := t.Underlying().(*types.Array)
+	return isArr
+}
+
+// isSliceExpr reports whether e has slice type.
+func isSliceExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

@@ -29,6 +29,10 @@
 //	paircheck       — every //insane:acquire resource has a matching
 //	                  release, transfer or verified waiver on every
 //	                  control-flow path (§5.1/§6 charge-refund balance)
+//	guardcheck      — every access to a field of an //insane:shared
+//	                  struct uses its declared //insane:guardedby
+//	                  regime: mutex-held, atomic, RCU-published,
+//	                  goroutine-confined or immutable (DESIGN.md §14)
 //
 // Analyzers that declare FactTypes are whole-program: Run applies them
 // over the full in-module dependency closure of the requested
@@ -49,6 +53,7 @@ import (
 	"github.com/insane-mw/insane/internal/lint/bufownership"
 	"github.com/insane-mw/insane/internal/lint/concurrencycheck"
 	"github.com/insane-mw/insane/internal/lint/directive"
+	"github.com/insane-mw/insane/internal/lint/guardcheck"
 	"github.com/insane-mw/insane/internal/lint/hotpathcheck"
 	"github.com/insane-mw/insane/internal/lint/loader"
 	"github.com/insane-mw/insane/internal/lint/lockorder"
@@ -71,6 +76,7 @@ func Analyzers() []*analysis.Analyzer {
 		archcheck.Analyzer,
 		boundedcheck.Analyzer,
 		paircheck.Analyzer,
+		guardcheck.Analyzer,
 	}
 }
 

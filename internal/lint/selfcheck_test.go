@@ -44,7 +44,7 @@ func TestRepositoryIsClean(t *testing.T) {
 	if info.ClosurePackages < 30 {
 		t.Errorf("whole-program closure covered only %d packages (want >= 30)", info.ClosurePackages)
 	}
-	for _, name := range []string{"goroutinecheck", "lockorder", "hotpathcheck", "archcheck", "boundedcheck", "paircheck", "bufownership"} {
+	for _, name := range []string{"goroutinecheck", "lockorder", "hotpathcheck", "archcheck", "boundedcheck", "paircheck", "bufownership", "guardcheck", "atomicfield"} {
 		if n := info.WholeProgram[name]; n < 30 {
 			t.Errorf("whole-program analyzer %s ran over %d packages (want >= 30)", name, n)
 		}
@@ -126,6 +126,56 @@ func TestWorkBoundWaiversAreAlive(t *testing.T) {
 	}
 	if waivers < 20 {
 		t.Errorf("only %d //insane:bounded annotations in the tree; the work-bound waiver set has shrunk (want >= 20)", waivers)
+	}
+}
+
+// TestGuardRegistryIsAlive asserts two invariants of the guardcheck
+// shared-state registry (DESIGN.md §14). First, the annotation set has
+// not silently shrunk: every //insane:shared struct and per-field
+// //insane:guardedby spec is a root of the synchronization-regime
+// proof, so a healthy count means the proof still covers the runtime's
+// cross-goroutine state. Second, the //insane:unguarded waiver count
+// stays at zero: a waiver is an unproven synchronization claim, and
+// every regime in the tree is currently proven — any waiver appearing
+// means a data-race hole is being waved through instead of fixed.
+func TestGuardRegistryIsAlive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parses the entire module")
+	}
+	ldr, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ldr.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, specs, waivers := 0, 0, 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					switch {
+					case text == "//insane:shared":
+						shared++
+					case strings.HasPrefix(text, "//insane:guardedby "):
+						specs++
+					case text == "//insane:unguarded" || strings.HasPrefix(text, "//insane:unguarded "):
+						waivers++
+					}
+				}
+			}
+		}
+	}
+	if shared < 20 {
+		t.Errorf("only %d //insane:shared structs in the tree; the shared-state registry has shrunk (want >= 20)", shared)
+	}
+	if specs < 100 {
+		t.Errorf("only %d //insane:guardedby specs in the tree; the regime proof's root set has shrunk (want >= 100)", specs)
+	}
+	if waivers > 0 {
+		t.Errorf("%d //insane:unguarded waivers in the tree (ceiling 0); prove the regime instead of waiving it", waivers)
 	}
 }
 

@@ -23,9 +23,11 @@ var ErrQuota = errors.New("mempool: tenant slot quota exhausted")
 // disables the cap but keeps the usage gauge running, so exporters can
 // show per-tenant occupancy even for unlimited tenants. All methods are
 // safe for concurrent use.
+//
+//insane:shared
 type Budget struct {
-	used  atomic.Int64
-	limit int64
+	used  atomic.Int64 //insane:guardedby atomic
+	limit int64        //insane:guardedby immutable after=NewBudget
 }
 
 // NewBudget returns a budget allowing up to limit concurrently held

@@ -23,9 +23,11 @@ import (
 // CachePool is the shared backing store of a family of Caches holding
 // the same object kind: a bounded MPMC ring that absorbs overflow from
 // one cache and refills another, plus the constructor for cold misses.
+//
+//insane:shared
 type CachePool[T any] struct {
-	shared *ringbuf.MPMC[T]
-	newT   func() T
+	shared *ringbuf.MPMC[T] //insane:guardedby immutable after=NewCachePool
+	newT   func() T         //insane:guardedby immutable after=NewCachePool
 }
 
 // NewCachePool creates the shared store. sharedCap bounds how many idle
@@ -68,6 +70,14 @@ type CacheStats struct {
 
 // Cache is one private free list. See CachePool.NewCache for the
 // ownership contract.
+//
+// Deliberately not //insane:shared: a Cache instance belongs to exactly
+// one goroutine (DPDK's per-lcore contract — Get/Put are not safe for
+// concurrent use), so there is no cross-goroutine regime to declare
+// here; the owning package pins the owner (core's pollLoop confines
+// poller.envs via its own //insane:guardedby specs). The stats fields
+// below are the one exception — atomics precisely so a monitoring
+// goroutine may read them — and atomicfield already polices those.
 type Cache[T any] struct {
 	pool  *CachePool[T]
 	local []T

@@ -98,37 +98,43 @@ type Owner int32
 const NoOwner Owner = 0
 
 // slotState tracks the lifecycle of one slot.
+//
+//insane:shared
 type slotState struct {
-	refs  atomic.Int32
-	owner atomic.Int32
+	refs  atomic.Int32 //insane:guardedby atomic
+	owner atomic.Int32 //insane:guardedby atomic
 	// gen increments on every recycle, detecting stale-id release bugs.
-	gen atomic.Uint32
+	gen atomic.Uint32 //insane:guardedby atomic
 	// budget is the tenant budget the slot is charged against, nil for
-	// unbudgeted borrows. A plain pointer is safe: it is written only by
-	// the borrower right after the exclusive free-ring pop and cleared by
-	// the final Release before the push, so the ring's atomics order
-	// every access — the same argument that makes the backing bytes safe
-	// to reuse.
-	budget *Budget
+	// unbudgeted borrows. Atomic for two reasons: the guardcheck regime
+	// proof cannot see the free-ring ownership argument that made a plain
+	// pointer borderline-safe, and the Swap in the release paths makes
+	// the uncharge exactly-once even if a final Release races a
+	// crash-reclaiming ReleaseOwner.
+	budget atomic.Pointer[Budget] //insane:guardedby atomic
 }
 
 // pool is one size class: a contiguous backing area plus slot bookkeeping.
+//
+//insane:shared
 type pool struct {
-	slotSize int
-	backing  []byte
-	states   []slotState
-	free     *ringbuf.MPMC[uint32] // free slot indexes
+	slotSize int         //insane:guardedby immutable after=NewManager
+	backing  []byte      //insane:guardedby immutable after=NewManager
+	states   []slotState //insane:guardedby immutable after=NewManager
+	free     *ringbuf.MPMC[uint32] //insane:guardedby immutable after=NewManager
 }
 
 // Manager owns the memory pools and the borrow/release protocol.
 // All methods are safe for concurrent use.
+//
+//insane:shared
 type Manager struct {
-	pools []*pool
+	pools []*pool //insane:guardedby immutable after=NewManager
 
 	// stats
-	gets     atomic.Uint64
-	fails    atomic.Uint64
-	releases atomic.Uint64
+	gets     atomic.Uint64 //insane:guardedby atomic
+	fails    atomic.Uint64 //insane:guardedby atomic
+	releases atomic.Uint64 //insane:guardedby atomic
 }
 
 // NewManager reserves the configured pools up front (no allocation happens
@@ -207,7 +213,7 @@ func (m *Manager) GetBudget(size int, owner Owner, b *Budget) (SlotID, []byte, e
 		st := &p.states[idx]
 		st.refs.Store(1)
 		st.owner.Store(int32(owner))
-		st.budget = b
+		st.budget.Store(b)
 		m.gets.Add(1)
 		id := makeSlotID(pi, int(idx))
 		return id, p.slotBuf(int(idx)), nil
@@ -292,8 +298,7 @@ func (m *Manager) Release(id SlotID) error {
 		return fmt.Errorf("%w: double release of %v", ErrBadSlot, id)
 	}
 	if n == 0 {
-		if b := st.budget; b != nil {
-			st.budget = nil
+		if b := st.budget.Swap(nil); b != nil {
 			b.Uncharge()
 		}
 		st.owner.Store(int32(NoOwner))
@@ -324,8 +329,7 @@ func (m *Manager) ReleaseOwner(owner Owner) int {
 			}
 			// Drop all outstanding references at once.
 			if refs := st.refs.Swap(0); refs > 0 {
-				if b := st.budget; b != nil {
-					st.budget = nil
+				if b := st.budget.Swap(nil); b != nil {
 					b.Uncharge()
 				}
 				st.owner.Store(int32(NoOwner))

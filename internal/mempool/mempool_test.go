@@ -340,3 +340,41 @@ func TestAddRefRejectsNonPositive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConcurrentReleaseAndReleaseOwnerUnchargesOnce races the normal
+// release path against the crash-reclaim path for the same slots. The
+// old plain *Budget pointer let both observe it non-nil and uncharge
+// twice, silently inflating the tenant's quota; the atomic.Pointer
+// Swap(nil) makes settlement exactly-once, so used must come back to
+// exactly zero — never negative — every round.
+func TestConcurrentReleaseAndReleaseOwnerUnchargesOnce(t *testing.T) {
+	const owner Owner = 3
+	for round := 0; round < 200; round++ {
+		m := newTestManager(t)
+		b := NewBudget(8)
+		var ids []SlotID
+		for {
+			id, _, err := m.GetBudget(64, owner, b)
+			if err != nil {
+				break
+			}
+			ids = append(ids, id)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for _, id := range ids {
+				_ = m.Release(id)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			m.ReleaseOwner(owner)
+		}()
+		wg.Wait()
+		if used := b.Used(); used != 0 {
+			t.Fatalf("round %d: budget used = %d after full release, want 0 (negative means a double uncharge)", round, used)
+		}
+	}
+}

@@ -58,10 +58,13 @@ func BucketUpper(i int) uint64 {
 // plain atomic adds, merged off the hot path. The sum rides along so
 // Prometheus `_sum`/`_count` semantics and mean latencies fall out of a
 // snapshot directly.
+//
+//insane:shared
 type Hist struct {
+	//insane:guardedby atomic
 	buckets [NumBuckets]atomic.Uint64
-	count   atomic.Uint64
-	sum     atomic.Uint64
+	count   atomic.Uint64 //insane:guardedby atomic
+	sum     atomic.Uint64 //insane:guardedby atomic
 }
 
 // observe records one value (negative values clamp to zero).

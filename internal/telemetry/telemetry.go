@@ -155,12 +155,17 @@ func LatencyHist(h HistID) bool {
 // canonical owner is a single goroutine (a polling thread), but all
 // writes are atomic, so striping several client goroutines over one
 // shard stays correct — it only costs contention, never lost updates.
+//
+//insane:shared
 type Shard struct {
+	//insane:guardedby atomic
 	counters [NumCounters]atomic.Uint64
-	hists    [NumHists]Hist
+	//insane:guardedby atomic
+	hists [NumHists]Hist
 	// pad keeps neighboring shards on distinct cache lines even though
 	// the shards are individually heap-allocated (the allocator may
 	// still co-locate two small tails).
+	//insane:guardedby immutable after=New
 	pad [64]byte //nolint:unused // padding, deliberately never read
 }
 
@@ -180,9 +185,11 @@ func (s *Shard) Add(c CounterID, n uint64) { s.counters[c].Add(n) }
 func (s *Shard) Observe(h HistID, v int64) { s.hists[h].observe(v) }
 
 // Telemetry owns the shard set of one runtime.
+//
+//insane:shared
 type Telemetry struct {
-	shards []*Shard
-	next   atomic.Uint32
+	shards []*Shard      //insane:guardedby immutable after=New
+	next   atomic.Uint32 //insane:guardedby atomic
 }
 
 // New creates a telemetry domain with n shards (at least 1): typically

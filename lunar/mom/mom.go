@@ -40,14 +40,15 @@ type Meta struct {
 type Handler func(payload []byte, meta Meta)
 
 // MoM is a decentralized publisher/subscriber endpoint.
+//insane:shared
 type MoM struct {
-	sess   *insane.Session
-	stream *insane.Stream
+	sess   *insane.Session //insane:guardedby immutable after=New
+	stream *insane.Stream  //insane:guardedby immutable after=New
 
 	mu      sync.Mutex
-	sources map[uint32]*insane.Source
-	sinks   []*insane.Sink
-	closed  bool
+	sources map[uint32]*insane.Source //insane:guardedby mu=mu
+	sinks   []*insane.Sink            //insane:guardedby mu=mu
+	closed  bool                      //insane:guardedby mu=mu
 }
 
 // TopicChannel hashes a topic name to its INSANE channel id, as the paper

@@ -56,13 +56,14 @@ func StreamChannel(name string) int {
 }
 
 // Server is the sender side (lnr_s_open_server).
+//insane:shared
 type Server struct {
-	sess    *insane.Session
-	stream  *insane.Stream
-	src     *insane.Source
+	sess    *insane.Session //insane:guardedby immutable after=OpenServer
+	stream  *insane.Stream  //insane:guardedby immutable after=OpenServer
+	src     *insane.Source  //insane:guardedby immutable after=OpenServer
 	mu      sync.Mutex
-	frameID uint32
-	closed  bool
+	frameID uint32 //insane:guardedby mu=mu
+	closed  bool   //insane:guardedby mu=mu
 }
 
 // OpenServer opens the server side of a named stream on a node with the
@@ -193,17 +194,21 @@ type Frame struct {
 }
 
 // Client is the receiver side (lnr_s_connect).
+//insane:shared
 type Client struct {
-	sess   *insane.Session
-	stream *insane.Stream
-	sink   *insane.Sink
+	sess   *insane.Session //insane:guardedby immutable after=Connect
+	stream *insane.Stream  //insane:guardedby immutable after=Connect
+	sink   *insane.Sink    //insane:guardedby immutable after=Connect
 
 	mu       sync.Mutex
-	building map[uint32]*assembly
-	ready    []Frame
-	notify   chan struct{}
-	dropped  uint64
-	closed   bool
+	building map[uint32]*assembly //insane:guardedby mu=mu
+	ready    []Frame              //insane:guardedby mu=mu
+	// notify is created once in Connect and only ever sent to / received
+	// from afterwards (channel ops are internally synchronized), so it is
+	// deliberately not under mu: Receive blocks on it after unlocking.
+	notify  chan struct{} //insane:guardedby immutable after=Connect
+	dropped uint64        //insane:guardedby mu=mu
+	closed  bool          //insane:guardedby mu=mu
 }
 
 // assembly is a frame being reassembled.
